@@ -1,0 +1,52 @@
+"""Ablation: where should the ZeroSum thread live?
+
+The paper pins the asynchronous monitor to the *last* hardware thread
+of the process (runtime configurable) and observes that the OpenMP
+thread sharing that core picks up measurable contention (Table 3's
+nv_ctx 208).  This ablation compares placements: last HWT, first HWT
+(shared with the Main thread), and unbound.
+"""
+
+from common import T3_CMD, banner, run_config
+from repro.core import ZeroSumConfig, build_report
+
+PLACEMENTS = ("last", "first", None)
+
+
+def test_ablation_monitor_placement(benchmark):
+    results = {}
+
+    def sweep():
+        for placement in PLACEMENTS:
+            step = run_config(
+                T3_CMD, blocks=15, block_jiffies=60,
+                zs_config=ZeroSumConfig(monitor_cpu=placement),
+            )
+            report = build_report(step.monitors[0])
+            per_core_nvctx = {
+                row.cpus[0]: row.nv_ctx
+                for row in report.lwp_rows
+                if ("OpenMP" in row.kind) and len(row.cpus) == 1
+            }
+            results[str(placement)] = {
+                "duration": step.duration_seconds,
+                "nvctx_core1": per_core_nvctx.get(1, 0),
+                "nvctx_core7": per_core_nvctx.get(7, 0),
+            }
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("Ablation — ZeroSum thread placement",
+           "paper default: last HWT; the co-resident thread pays")
+    print(f"{'placement':>10} {'runtime (s)':>12} {'nv_ctx@core1':>13} "
+          f"{'nv_ctx@core7':>13}")
+    for name, row in results.items():
+        print(f"{name:>10} {row['duration']:>12.2f} "
+              f"{row['nvctx_core1']:>13d} {row['nvctx_core7']:>13d}")
+
+    # last-HWT placement: contention lands on core 7, not core 1
+    assert results["last"]["nvctx_core7"] > results["last"]["nvctx_core1"]
+    # first-HWT placement moves it onto the Main thread's core
+    assert results["first"]["nvctx_core7"] <= 2
+
+    benchmark.extra_info.update(results)

@@ -1,0 +1,67 @@
+"""Ablation: SMT throughput sharing and the 2-threads-per-core ratio.
+
+The paper's §4.1 runs miniQMC with one and two OpenMP threads per core
+and observes 27.34 s vs 57.07 s — doubling the walkers costs a factor
+2.087, i.e. per-walker throughput drops ~4 % when both SMT lanes of a
+core are busy.  The simulator's ``smt_efficiency`` knob models exactly
+that; this ablation sweeps it and checks the induced ratio.
+"""
+
+from common import banner
+from repro.apps import MiniQmcConfig, miniqmc_app
+from repro.core import zerosum_mpi, ZeroSumConfig
+from repro.launch import SrunOptions, launch_job
+from repro.topology import frontier_node
+
+ONE = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+       "srun -n8 -c7 zerosum-mpi miniqmc")
+TWO = ("OMP_NUM_THREADS=14 OMP_PROC_BIND=spread OMP_PLACES=threads "
+       "srun -n8 -c7 --threads-per-core=2 zerosum-mpi miniqmc")
+EFFICIENCIES = (1.0, 0.96, 0.92, 0.85)
+
+
+def _run(cmd: str, smt: float) -> float:
+    step = launch_job(
+        [frontier_node()],
+        SrunOptions.parse(cmd),
+        miniqmc_app(MiniQmcConfig(blocks=10, block_jiffies=60)),
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+        smt_efficiency=smt,
+    )
+    step.run()
+    step.finalize()
+    return step.duration_seconds
+
+
+def test_ablation_smt_efficiency(benchmark):
+    rows = []
+
+    def sweep():
+        for eff in EFFICIENCIES:
+            one = _run(ONE, eff)
+            two = _run(TWO, eff)
+            rows.append((eff, one, two, two / one))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    banner("Ablation — SMT lane efficiency vs 2-threads-per-core cost",
+           "paper: 2x walkers cost 2.087x time -> per-lane efficiency ~0.96")
+    print(f"{'efficiency':>10} {'1 thr/core (s)':>15} {'2 thr/core (s)':>15} "
+          f"{'ratio':>7} {'implied paper ratio':>20}")
+    for eff, one, two, ratio in rows:
+        print(f"{eff:>10.2f} {one:>15.2f} {two:>15.2f} {ratio:>7.3f} "
+              f"{2 * ratio:>20.3f}")
+
+    by_eff = dict((r[0], r) for r in rows)
+    # independent lanes: same per-walker time, ratio ~1
+    assert 0.97 <= by_eff[1.0][3] <= 1.05
+    # shared lanes slow the doubled configuration
+    assert by_eff[0.92][3] > by_eff[1.0][3]
+    # monotone in sharing cost
+    ratios = [r[3] for r in rows]
+    assert ratios == sorted(ratios)
+
+    benchmark.extra_info["sweep"] = [
+        {"efficiency": e, "one_per_core_s": o, "two_per_core_s": t,
+         "ratio": r} for e, o, t, r in rows
+    ]

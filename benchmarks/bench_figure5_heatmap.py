@@ -1,0 +1,50 @@
+"""Figure 5: MPI point-to-point heatmap, 512-rank gyrokinetic PIC.
+
+Paper reference: "a strong nearest-neighbor pattern along the central
+diagonal" in the 512x512 bytes matrix.
+"""
+
+from common import banner
+from repro.apps import PicConfig, pic_app
+from repro.core import ZeroSumConfig, merge_monitors, zerosum_mpi
+from repro.launch import SrunOptions, launch_job
+from repro.topology import frontier_node
+
+RANKS = 512
+
+
+def _run():
+    nodes = [frontier_node(name=f"frontier{i:05d}") for i in range(10)]
+    step = launch_job(
+        nodes,
+        SrunOptions(ntasks=RANKS, command="pic"),
+        pic_app(PicConfig(steps=4)),
+        monitor_factory=zerosum_mpi(
+            ZeroSumConfig(collect_hwt=False, collect_gpu=False,
+                          collect_memory=False)
+        ),
+    )
+    step.run()
+    step.finalize()
+    return step
+
+
+def test_figure5_p2p_heatmap(benchmark):
+    step = benchmark.pedantic(_run, rounds=1, iterations=1)
+    matrix = merge_monitors(step.monitors)
+    banner("Figure 5 — 512-rank point-to-point heatmap",
+           "nearest-neighbour diagonal dominates")
+    print(matrix.render(bins=64))
+    dominance = matrix.diagonal_dominance(band=1)
+    print(f"diagonal dominance (band 1): {dominance * 100:.1f} %")
+    print("top talker pairs:", matrix.top_talkers(3))
+
+    assert matrix.size == RANKS
+    assert dominance > 0.9
+    assert matrix.total_bytes() > 0
+
+    benchmark.extra_info.update(
+        ranks=RANKS,
+        total_bytes=matrix.total_bytes(),
+        diagonal_dominance=dominance,
+    )

@@ -1,0 +1,37 @@
+"""Figure 6: per-LWP idle/system/user stacked time series.
+
+Paper reference: busy threads near 100 % user with visible noise —
+"/proc/<pid>/stat data is not accurate enough for detailed performance
+measurement but is accurate in the aggregate".
+"""
+
+import numpy as np
+
+from common import T3_CMD, banner, run_config
+from repro.analysis import all_lwp_series, render_series_table
+
+
+def test_figure6_lwp_time_series(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(T3_CMD, blocks=20, jitter=0.02),
+        rounds=1, iterations=1,
+    )
+    series = all_lwp_series(step.monitors[0])
+    banner("Figure 6 — LWP utilization over time",
+           "stacked user/system/idle per thread, noisy near 100 %")
+    busy = [s for s in series if s.mean_user() > 50.0]
+    print(render_series_table(busy[:3]))
+
+    assert len(series) == 9
+    assert len(busy) == 7  # main + 6 team threads
+    for s in busy:
+        assert s.mean_user() > 70.0
+    noise = float(np.mean([s.noisiness() for s in busy]))
+    print(f"mean busy-series noisiness (std of busy%): {noise:.2f}")
+    assert noise > 0.0
+
+    benchmark.extra_info.update(
+        threads=len(series),
+        mean_user=[round(s.mean_user(), 1) for s in busy],
+        noisiness=noise,
+    )

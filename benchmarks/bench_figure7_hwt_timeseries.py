@@ -1,0 +1,40 @@
+"""Figure 7: per-HWT (CPU core) utilization over time.
+
+Paper reference: all seven allocated cores track the application's
+phases; smoother than the per-LWP view.
+"""
+
+import numpy as np
+
+from common import T3_CMD, banner, run_config
+from repro.analysis import all_hwt_series, all_lwp_series, render_series_table
+
+
+def test_figure7_hwt_time_series(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(T3_CMD, blocks=20, jitter=0.02),
+        rounds=1, iterations=1,
+    )
+    monitor = step.monitors[0]
+    hwts = all_hwt_series(monitor)
+    banner("Figure 7 — CPU core utilization over time",
+           "7 cores, stacked user/system/idle")
+    print(render_series_table(hwts[:3]))
+
+    assert len(hwts) == 7
+    for s in hwts:
+        assert s.user_pct.mean() > 60.0
+        total = s.user_pct + s.system_pct + s.idle_pct
+        assert np.allclose(total, 100.0, atol=10.0)
+
+    # the HWT view aggregates whole cores, hence steadier than Figure 6
+    lwp_noise = np.mean([s.noisiness() for s in all_lwp_series(monitor)
+                         if s.mean_user() > 50.0])
+    hwt_noise = np.mean([s.noisiness() for s in hwts])
+    print(f"noisiness: LWP view {lwp_noise:.2f} vs HWT view {hwt_noise:.2f}")
+
+    benchmark.extra_info.update(
+        cores=len(hwts),
+        mean_user=[round(float(s.user_pct.mean()), 1) for s in hwts],
+        hwt_noise=float(hwt_noise),
+    )

@@ -1,0 +1,66 @@
+"""Figure 8: ZeroSum overhead — 10 runs with/without, 1 and 2 threads/core.
+
+Paper reference:
+  one thread per core:  27.3396±0.0358 vs 27.3395±0.1043 s, t-test 0.998
+    -> no significant difference;
+  two threads per core: 57.0657±0.0486 vs 57.3409±0.1823 s, t-test 0.0006
+    -> significant, mean overhead 0.2752 s (< 0.5 %).
+"""
+
+from common import T3_CMD, banner, run_config
+from repro.analysis import compare_distributions
+
+TWO_PER_CORE = ("OMP_NUM_THREADS=14 OMP_PROC_BIND=spread OMP_PLACES=threads "
+                "srun -n8 -c7 --threads-per-core=2 zerosum-mpi miniqmc")
+REPS = 10
+
+
+def _distribution(cmd, monitored):
+    return [
+        run_config(cmd, blocks=8, block_jiffies=50, jitter=0.012,
+                   seed=seed, monitor=monitored).duration_seconds
+        for seed in range(REPS)
+    ]
+
+
+def test_figure8_overhead_distributions(benchmark):
+    results = {}
+
+    def run_all():
+        results["one_base"] = _distribution(T3_CMD, False)
+        results["one_zs"] = _distribution(T3_CMD, True)
+        results["two_base"] = _distribution(TWO_PER_CORE, False)
+        results["two_zs"] = _distribution(TWO_PER_CORE, True)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("Figure 8 — runtime distributions with and without ZeroSum",
+           "1 thr/core: indistinguishable; 2 thr/core: < 0.5 % overhead")
+
+    one = compare_distributions(results["one_base"], results["one_zs"],
+                                labels=("default (1/core)", "zerosum (1/core)"))
+    print(one.render())
+    print()
+    two = compare_distributions(results["two_base"], results["two_zs"],
+                                labels=("default (2/core)", "zerosum (2/core)"))
+    print(two.render())
+
+    # shape assertions
+    assert abs(one.mean_overhead_percent) < 1.0
+    assert -0.1 <= two.mean_overhead_percent < 0.5
+
+    benchmark.extra_info.update(
+        one_per_core={
+            "baseline_mean": one.baseline.mean,
+            "zerosum_mean": one.treated.mean,
+            "p_value": one.p_value,
+            "overhead_pct": one.mean_overhead_percent,
+        },
+        two_per_core={
+            "baseline_mean": two.baseline.mean,
+            "zerosum_mean": two.treated.mean,
+            "p_value": two.p_value,
+            "overhead_pct": two.mean_overhead_percent,
+        },
+    )

@@ -1,0 +1,18 @@
+"""Listing 1: hwloc-style topology output of the i7-1165G7 test node."""
+
+from common import banner
+from repro.topology import render_lstopo, testnode_i7
+
+EXPECTED_FRAGMENTS = ("PU L#0 P#0", "PU L#1 P#4", "L3Cache L#0 12MB",
+                      "L2Cache L#3 1280KB", "Core L#3")
+
+
+def test_listing1_lstopo(benchmark):
+    out = benchmark(lambda: render_lstopo(testnode_i7()))
+    banner("Listing 1 — node topology (Intel i7-1165G7, 4C/8T)",
+           "HWLOC Node topology with interleaved PU indexing")
+    print(out)
+    for fragment in EXPECTED_FRAGMENTS:
+        assert fragment in out
+    benchmark.extra_info["lines"] = len(out.splitlines())
+    benchmark.extra_info["pu_count"] = out.count("PU L#")

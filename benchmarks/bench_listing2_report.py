@@ -1,0 +1,40 @@
+"""Listing 2: the full utilization report of the GPU-offload run.
+
+Paper reference: 8 ranks x 4 OpenMP threads, one GCD per rank via
+--gpu-bind=closest; Main on core 1, OpenMP on 3/5/7, ZeroSum on 7;
+even cores ~99.8 % idle; GPU table with min/avg/max of 16 SMI metrics
+(Device Busy min 0 / avg 14.6 / max 52).
+"""
+
+from common import LISTING2_CMD, banner, run_config
+from repro.core import analyze, build_report
+
+
+def test_listing2_utilization_report(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(LISTING2_CMD, blocks=12, offload=True),
+        rounds=1, iterations=1,
+    )
+    report = build_report(step.monitors[0])
+    banner("Listing 2 — full utilization report (GPU offload)",
+           "LWP table + HWT table + GPU min/avg/max")
+    print(report.render())
+    print(analyze(step.monitors[0]).render())
+
+    main = report.lwp_by_kind("Main")[0]
+    assert list(main.cpus) == [1]
+    omp_cores = sorted(r.cpus[0] for r in report.lwp_rows if r.kind == "OpenMP")
+    assert omp_cores == [3, 5, 7]
+
+    idle = {r.cpu: r.idle_pct for r in report.hwt_rows}
+    assert all(idle[c] > 95.0 for c in (2, 4, 6))
+
+    busy = [s for s in report.gpu_stats[0] if s.label == "Device Busy %"][0]
+    assert busy.minimum < 5.0 and busy.maximum > 20.0
+
+    benchmark.extra_info.update(
+        duration_s=step.duration_seconds,
+        gpu_busy=(busy.minimum, busy.average, busy.maximum),
+        idle_even_cores=[idle[c] for c in (2, 4, 6)],
+        physical_gcd=step.contexts[0].gpus[0].info.physical_index,
+    )

@@ -1,0 +1,48 @@
+"""Simulator performance guard: ticks/second of the kernel loop.
+
+Not a paper artefact — a regression guard for the substrate itself.
+All table/figure benches depend on the scheduler staying fast enough
+that a 25-second Frontier job simulates in about a second.
+"""
+
+from common import banner
+from repro.kernel import Compute, SimKernel
+from repro.topology import CpuSet, frontier_node
+
+TICKS = 1000
+
+
+def _run_busy_node():
+    kernel = SimKernel(frontier_node())
+
+    def gen(j):
+        def g():
+            yield Compute(j)
+
+        return g()
+
+    # 8 processes x 8 busy threads, the Table-2-like steady state
+    for r in range(8):
+        cpus = CpuSet.range(1 + 8 * r, 8 + 8 * r)
+        proc = kernel.spawn_process(kernel.nodes[0], cpus, gen(TICKS + 10))
+        for _ in range(7):
+            kernel.spawn_thread(proc, gen(TICKS + 10))
+    for _ in range(TICKS):
+        kernel.step()
+    return kernel
+
+
+def test_simulator_throughput(benchmark):
+    kernel = benchmark.pedantic(_run_busy_node, rounds=3, iterations=1)
+    seconds = benchmark.stats["mean"]
+    ticks_per_sec = TICKS / seconds
+    busy_lwps = 64
+    banner("Simulator throughput (64 busy threads on one Frontier node)",
+           "substrate regression guard, not a paper artefact")
+    print(f"{ticks_per_sec:,.0f} simulated jiffies/s "
+          f"({ticks_per_sec / 100:,.1f}x real time at 64 busy threads)")
+    # a 25 s table-bench run must stay comfortably under a minute
+    assert ticks_per_sec > 500, "simulator slower than 5x real time"
+    benchmark.extra_info.update(
+        ticks=TICKS, busy_lwps=busy_lwps, ticks_per_sec=ticks_per_sec
+    )

@@ -1,0 +1,38 @@
+"""Table 1: default configuration — srun -n8, OMP_NUM_THREADS=7.
+
+Paper reference (Frontier, 63.67 s run):
+  every application thread bound to core 1; stime ~0.2-1.5,
+  utime ~13-15 (per cent of the window); nv_ctx in the hundreds of
+  thousands; the MPI helper ("Other") unbound and idle.
+"""
+
+import numpy as np
+
+from common import T1_CMD, banner, run_config
+from repro.core import analyze, build_report
+
+
+def test_table1_default_configuration(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(T1_CMD), rounds=1, iterations=1
+    )
+    report = build_report(step.monitors[0])
+    banner("Table 1 — default configuration (all threads on core 1)",
+           "utime ~13-15, nv_ctx ~1e5, all CPUs: [1]")
+    print(report.render())
+    print(analyze(step.monitors[0]).render())
+
+    omp_rows = [r for r in report.lwp_rows if "OpenMP" in r.kind]
+    assert len(omp_rows) == 7
+    for row in omp_rows:
+        assert list(row.cpus) == [1], "thread not pinned to core 1"
+        assert 8.0 < row.utime_pct < 20.0, "starved utilization expected"
+    nvctx = [r.nv_ctx for r in omp_rows]
+    assert min(nvctx) > 100, "time slicing must generate many nv_ctx"
+
+    benchmark.extra_info.update(
+        duration_s=step.duration_seconds,
+        utime_mean=float(np.mean([r.utime_pct for r in omp_rows])),
+        nvctx_mean=float(np.mean(nvctx)),
+        findings=sorted({f.code for f in analyze(step.monitors[0]).findings}),
+    )

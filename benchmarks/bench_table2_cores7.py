@@ -1,0 +1,38 @@
+"""Table 2: srun -n8 -c7 — seven cores per rank, threads unbound.
+
+Paper reference (Frontier, 27.33 s run): utime ~88-93, nv_ctx single
+digits (except the thread sharing a core with the ZeroSum monitor,
+~300), all OpenMP threads migrated at least once.
+"""
+
+import numpy as np
+
+from common import T2_CMD, banner, run_config
+from repro.core import analyze, build_report
+
+
+def test_table2_seven_cores_unbound(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(T2_CMD), rounds=1, iterations=1
+    )
+    report = build_report(step.monitors[0])
+    banner("Table 2 — 7 cores per rank, OpenMP threads unbound",
+           "utime ~90, nv_ctx near zero, threads migrated >= once")
+    print(report.render())
+
+    omp_rows = [r for r in report.lwp_rows if "OpenMP" in r.kind]
+    for row in omp_rows:
+        assert row.utime_pct > 80.0
+    nvctx = sorted(r.nv_ctx for r in omp_rows)
+    assert nvctx[0] <= 5
+    migrations = [t.migrations for t in step.processes[0].threads.values()]
+    assert sum(1 for m in migrations if m > 0) >= 3
+
+    assert analyze(step.monitors[0]).findings == []
+
+    benchmark.extra_info.update(
+        duration_s=step.duration_seconds,
+        utime_mean=float(np.mean([r.utime_pct for r in omp_rows])),
+        nvctx=nvctx,
+        threads_migrated=sum(1 for m in migrations if m > 0),
+    )

@@ -1,0 +1,44 @@
+"""Table 3: -c7 + OMP_PROC_BIND=spread OMP_PLACES=cores.
+
+Paper reference (Frontier, 27.40 s run): one OpenMP thread per core
+(cores 1-7), zero migrations, nv_ctx zero except the thread sharing
+core 7 with the ZeroSum monitor (208 there).
+"""
+
+import numpy as np
+
+from common import T3_CMD, banner, run_config
+from repro.core import analyze, build_report
+
+
+def test_table3_spread_cores_bound(benchmark):
+    step = benchmark.pedantic(
+        lambda: run_config(T3_CMD), rounds=1, iterations=1
+    )
+    report = build_report(step.monitors[0])
+    banner("Table 3 — threads bound one per core (spread/cores)",
+           "CPUs 1..7 one thread each, nv_ctx 0 except ZeroSum-shared core")
+    print(report.render())
+
+    omp_rows = [r for r in report.lwp_rows if "OpenMP" in r.kind]
+    cores = sorted(r.cpus[0] for r in omp_rows)
+    assert cores == [1, 2, 3, 4, 5, 6, 7]
+
+    team = [t for t in step.processes[0].threads.values()
+            if len(t.affinity) == 1 and t.total_jiffies > 10]
+    assert all(t.migrations == 0 for t in team)
+
+    shared, unshared = [], []
+    for row in omp_rows:
+        (shared if list(row.cpus) == [7] else unshared).append(row.nv_ctx)
+    assert all(n <= 2 for n in unshared)
+    assert all(n > 0 for n in shared)
+
+    assert analyze(step.monitors[0]).findings == []
+
+    benchmark.extra_info.update(
+        duration_s=step.duration_seconds,
+        utime_mean=float(np.mean([r.utime_pct for r in omp_rows])),
+        nvctx_shared_core=shared,
+        nvctx_other_cores=unshared,
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Failure diagnosis with ZeroSum: deadlock, OOM, crash.
+
+§2 of the paper lists "identify cause of failure" among the reasons to
+monitor.  This example injects three failure modes into simulated jobs
+and shows what the monitor reports for each:
+
+* a hang — the progress tracker flags a suspected deadlock;
+* an out-of-memory kill — the memory series pins the blame;
+* a crash — the abnormal-exit handler captures a backtrace.
+"""
+
+from repro import (
+    SrunOptions,
+    ZeroSumConfig,
+    analyze,
+    build_report,
+    crash_app,
+    deadlock_app,
+    generic_node,
+    launch_job,
+    oom_app,
+    zerosum_mpi,
+)
+
+
+def scenario(title, app, machine=None, config=None, max_ticks=600):
+    print("\n" + "#" * 72)
+    print(f"# scenario: {title}")
+    print("#" * 72)
+    step = launch_job(
+        [machine or generic_node(cores=4)],
+        SrunOptions(ntasks=1, command=title.replace(" ", "-")),
+        app,
+        monitor_factory=zerosum_mpi(config or ZeroSumConfig(
+            period_seconds=0.25, deadlock_after=3)),
+    )
+    step.run(max_ticks=max_ticks, raise_on_stall=False)
+    step.finalize()
+    monitor = step.monitors[0]
+
+    report = build_report(monitor)
+    if report.deadlock_note:
+        print(f"monitor verdict: {report.deadlock_note}")
+    for finding in analyze(monitor).findings:
+        print("finding:", finding.render())
+    for crash in monitor.crash_reports:
+        print(crash.splitlines()[0])
+    print(f"process exit code: {step.processes[0].exit_code}")
+
+
+def main() -> None:
+    scenario("silent hang", deadlock_app(deadlock_after_jiffies=40))
+    scenario(
+        "memory exhaustion",
+        oom_app(chunk_bytes=64 * 1024**2, chunks=64),
+        machine=generic_node(cores=4, memory_bytes=2 * 1024**3),
+        config=ZeroSumConfig(period_seconds=0.05),
+    )
+    scenario("segmentation fault", crash_app(crash_after_jiffies=25))
+
+
+if __name__ == "__main__":
+    main()

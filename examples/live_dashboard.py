@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Always-on monitoring: a live job dashboard fed by the sample stream.
+
+§6 of the paper imagines ZeroSum feeding data to services like LDMS
+*while the job runs*.  Here every rank's monitor publishes one event
+per sampling period onto a :class:`SampleStream`; an LDMS-like
+aggregator keeps the rolling job state, and a tiny subscriber prints a
+dashboard line whenever a full sweep of ranks has reported — all while
+the simulated application is still executing.  The job deliberately
+hangs halfway through, and the dashboard is how you notice.
+"""
+
+from repro import (
+    LdmsAggregator,
+    SampleStream,
+    SrunOptions,
+    ZeroSumConfig,
+    generic_node,
+    launch_job,
+    zerosum_mpi,
+)
+from repro.core import CallbackSubscriber
+from repro.kernel import Compute, Event, Wait
+
+
+def half_hanging_app(ctx):
+    """Ranks 0-2 compute normally; rank 3 hangs after a while."""
+
+    def main():
+        yield Compute(150, user_frac=0.95)
+        if ctx.rank == 3:
+            yield Wait(Event("stuck-forever"))
+        yield Compute(150, user_frac=0.95)
+
+    return main()
+
+
+def main() -> None:
+    stream = SampleStream()
+    ldms = LdmsAggregator()
+    stream.subscribe(ldms)
+
+    seen = {"count": 0}
+
+    def dashboard(event):
+        seen["count"] += 1
+        if event.rank == 0:  # one sweep completed: print the board
+            cells = []
+            for rank in ldms.ranks():
+                last = ldms.latest(rank)
+                marker = "⚠" if last.deadlock_suspected else " "
+                cells.append(f"r{rank}:{last.busy_pct:5.1f}%{marker}")
+            print(f"t={event.seconds:6.1f}s  " + "  ".join(cells))
+
+    stream.subscribe(CallbackSubscriber(dashboard))
+
+    step = launch_job(
+        [generic_node(cores=8)],
+        SrunOptions(ntasks=4, cpus_per_task=2, command="halfhang"),
+        half_hanging_app,
+        monitor_factory=zerosum_mpi(
+            ZeroSumConfig(period_seconds=0.5, deadlock_after=3), stream=stream
+        ),
+    )
+    step.run(max_ticks=1200, raise_on_stall=False)
+    step.finalize()
+
+    print(f"\n{stream.published} events streamed")
+    stalled = ldms.stalled_ranks()
+    if stalled:
+        print(f"the dashboard caught rank(s) {stalled} deadlocked "
+              f"while ranks {sorted(set(ldms.ranks()) - set(stalled))} "
+              f"finished normally")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Monitor the *real* current process through /proc (Linux only).
+
+The same parsers and report pipeline that run against the simulated
+substrate run here against the host kernel: an asynchronous thread
+samples ``/proc/self/task/*`` and ``/proc/stat`` while the main thread
+does numpy work, then the Listing 2-style report is printed.
+"""
+
+import time
+
+import numpy as np
+
+from repro import LiveZeroSum, ZeroSumConfig
+
+
+def workload(seconds: float) -> None:
+    """Some genuinely CPU-hungry work to observe."""
+    deadline = time.monotonic() + seconds
+    rng = np.random.default_rng(0)
+    a = rng.random((400, 400))
+    while time.monotonic() < deadline:
+        a = a @ a
+        a /= np.linalg.norm(a)
+
+
+def main() -> None:
+    monitor = LiveZeroSum(ZeroSumConfig(period_seconds=0.25))
+    monitor.start()
+    workload(3.0)
+    monitor.stop()
+
+    report = monitor.report()
+    print(report.render())
+    print(f"samples taken: {monitor.samples_taken}")
+    main_rows = [r for r in report.lwp_rows if r.kind == "Main"]
+    if main_rows:
+        print(f"main thread utilization: {main_rows[0].utime_pct:.1f} % user")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Figure 8 workflow: quantify ZeroSum's own cost.
+
+Runs miniQMC repeatedly with and without the monitor in the two
+configurations of §4.1 (one and two OpenMP threads per core) and
+performs the paper's t-test comparison.
+"""
+
+from repro import (
+    MiniQmcConfig,
+    SrunOptions,
+    ZeroSumConfig,
+    frontier_node,
+    launch_job,
+    miniqmc_app,
+    zerosum_mpi,
+)
+from repro.analysis import compare_distributions
+
+ONE_PER_CORE = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+                "srun -n8 -c7 zerosum-mpi miniqmc")
+TWO_PER_CORE = ("OMP_NUM_THREADS=14 OMP_PROC_BIND=spread OMP_PLACES=threads "
+                "srun -n8 -c7 --threads-per-core=2 zerosum-mpi miniqmc")
+REPS = 10
+
+
+def runtimes(cmdline: str, monitored: bool) -> list[float]:
+    out = []
+    for seed in range(REPS):
+        step = launch_job(
+            [frontier_node()],
+            SrunOptions.parse(cmdline),
+            miniqmc_app(
+                MiniQmcConfig(blocks=8, block_jiffies=50, jitter=0.012,
+                              seed=seed)
+            ),
+            monitor_factory=zerosum_mpi(ZeroSumConfig()) if monitored else None,
+        )
+        step.run()
+        step.finalize()
+        out.append(step.duration_seconds)
+    return out
+
+
+def main() -> None:
+    for label, cmdline in (("one thread per core", ONE_PER_CORE),
+                           ("two threads per core", TWO_PER_CORE)):
+        print(f"\n=== {label} ({REPS} runs each) ===")
+        base = runtimes(cmdline, monitored=False)
+        treated = runtimes(cmdline, monitored=True)
+        result = compare_distributions(
+            base, treated, labels=("baseline", "with zerosum"))
+        print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Time-series assembly for the stacked utilization charts.
+
+Figures 6 and 7 of the paper plot, per sampling interval, the
+user/system/idle split of every LWP and every HWT.  The monitor stores
+cumulative jiffy counters; these functions difference them into
+per-interval percentages.  Output is plain numpy arrays plus a text
+renderer, so no plotting stack is required to inspect the shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.monitor import ZeroSum
+from repro.errors import MonitorError
+
+__all__ = [
+    "UtilizationSeries",
+    "observed_processors",
+    "observed_migrations",
+    "lwp_series",
+    "hwt_series",
+    "all_lwp_series",
+    "all_hwt_series",
+    "render_series_table",
+]
+
+
+@dataclass
+class UtilizationSeries:
+    """Stacked idle/system/user percentages over time for one entity."""
+
+    label: str
+    seconds: np.ndarray  # interval end times
+    user_pct: np.ndarray
+    system_pct: np.ndarray
+    idle_pct: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.seconds)
+
+    @property
+    def busy_pct(self) -> np.ndarray:
+        return self.user_pct + self.system_pct
+
+    def mean_user(self) -> float:
+        """Mean user% across the series."""
+        return float(self.user_pct.mean()) if len(self.user_pct) else 0.0
+
+    def noisiness(self) -> float:
+        """Std-dev of the busy series — Figure 6's visual 'noise'."""
+        return float(self.busy_pct.std()) if len(self.busy_pct) else 0.0
+
+
+def _differences(ticks: np.ndarray, *counters: np.ndarray):
+    if len(ticks) < 2:
+        raise MonitorError("need at least two samples for a time series")
+    dt = np.diff(ticks)
+    dt = np.where(dt <= 0, 1.0, dt)
+    return dt, [np.diff(c) for c in counters]
+
+
+def lwp_series(monitor: ZeroSum, tid: int) -> UtilizationSeries:
+    """Figure 6: one thread's user/system/idle over time."""
+    series = monitor.lwp_series[tid]
+    arr = series.array
+    ticks = series.column("tick")
+    dt, (du, ds) = _differences(ticks, series.column("utime"), series.column("stime"))
+    user = 100.0 * du / dt
+    system = 100.0 * ds / dt
+    idle = np.clip(100.0 - user - system, 0.0, 100.0)
+    hz = monitor.kernel.clock.hz
+    return UtilizationSeries(
+        label=f"LWP {tid} ({monitor.classify(tid)})",
+        seconds=ticks[1:] / hz,
+        user_pct=user,
+        system_pct=system,
+        idle_pct=idle,
+    )
+
+
+def hwt_series(monitor: ZeroSum, cpu: int) -> UtilizationSeries:
+    """Figure 7: one hardware thread's utilization over time."""
+    series = monitor.hwt_series[cpu]
+    ticks = series.column("tick")
+    dt, (du, ds, di) = _differences(
+        ticks,
+        series.column("user"),
+        series.column("system"),
+        series.column("idle"),
+    )
+    hz = monitor.kernel.clock.hz
+    return UtilizationSeries(
+        label=f"CPU {cpu}",
+        seconds=ticks[1:] / hz,
+        user_pct=100.0 * du / dt,
+        system_pct=100.0 * ds / dt,
+        idle_pct=100.0 * di / dt,
+    )
+
+
+def all_lwp_series(monitor: ZeroSum) -> list[UtilizationSeries]:
+    """Figure 6: one series per observed thread (needs >= 2 samples)."""
+    out = []
+    for tid in monitor.observed_tids():
+        if len(monitor.lwp_series[tid]) >= 2:
+            out.append(lwp_series(monitor, tid))
+    return out
+
+
+def all_hwt_series(monitor: ZeroSum) -> list[UtilizationSeries]:
+    """Figure 7: one series per monitored CPU (needs >= 2 samples)."""
+    out = []
+    for cpu in sorted(monitor.hwt_series):
+        if len(monitor.hwt_series[cpu]) >= 2:
+            out.append(hwt_series(monitor, cpu))
+    return out
+
+
+def render_series_table(series_list: list[UtilizationSeries], width: int = 10) -> str:
+    """Text table: one row per interval, one column group per entity."""
+    if not series_list:
+        return "(no series)\n"
+    n = min(len(s) for s in series_list)
+    header = ["t(s)".rjust(8)] + [
+        f"{s.label[:width]:>{width + 12}} (u/s/i)" for s in series_list
+    ]
+    lines = ["  ".join(header)]
+    for i in range(n):
+        cells = [f"{series_list[0].seconds[i]:8.1f}"]
+        for s in series_list:
+            cells.append(
+                f"{s.user_pct[i]:6.1f}/{s.system_pct[i]:5.1f}/{s.idle_pct[i]:5.1f}"
+                .rjust(width + 12)
+            )
+        lines.append("  ".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def observed_processors(monitor: ZeroSum, tid: int) -> np.ndarray:
+    """The CPU the thread was last seen on, per sample — the §4 data
+    behind "the OpenMP threads were all migrated at least once during
+    execution, as captured by ZeroSum recording the core on which the
+    thread last executed at each periodic measurement"."""
+    return monitor.lwp_series[tid].column("processor").astype(int)
+
+
+def observed_migrations(monitor: ZeroSum, tid: int) -> int:
+    """Number of processor changes visible at sampling granularity."""
+    procs = observed_processors(monitor, tid)
+    if len(procs) < 2:
+        return 0
+    return int((np.diff(procs) != 0).sum())

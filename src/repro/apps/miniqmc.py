@@ -1,0 +1,148 @@
+"""miniQMC-like proxy application (the paper's §4 workload).
+
+Models the ECP proxy app miniQMC as ZeroSum sees it: an MPI+OpenMP
+code where each OpenMP thread advances one *walker* through a series
+of Monte Carlo blocks.  Two variants:
+
+* **CPU** (Tables 1-3, Figure 8): each block is pure compute per
+  walker, followed by an implicit team barrier and a small MPI
+  reduction of the block "energy".
+* **GPU offload** (Listing 2): each walker's block work is a target
+  offload — a short syscall-heavy host launch, a device kernel, and a
+  blocked wait for completion — so host cores show idle+system time
+  while the GPU shows busy/VRAM/power activity.
+
+Work per walker per block is constant; wall time then emerges from how
+the launcher and OpenMP runtime place threads, which is exactly the
+configuration-optimization story of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import jitter_factor
+from repro.errors import LaunchError
+from repro.gpu.device import KernelRequest
+from repro.kernel.directives import Alloc, Call, Compute, Wait
+from repro.kernel.lwp import Behavior
+from repro.launch.job import RankContext
+from repro.units import MIB
+
+__all__ = ["MiniQmcConfig", "miniqmc_app"]
+
+
+@dataclass
+class MiniQmcConfig:
+    """Problem-size and behaviour knobs for the proxy."""
+
+    #: Monte Carlo blocks (outer iterations)
+    blocks: int = 10
+    #: CPU jiffies of walker work per thread per block
+    block_jiffies: float = 30.0
+    #: fraction of walker CPU time in user space (rest: system calls)
+    user_frac: float = 0.97
+    #: run-to-run noise (sigma of the per-block jitter)
+    jitter: float = 0.0
+    #: RNG seed; vary it between repetitions for Figure 8 statistics
+    seed: int = 0
+    #: offload walker work to the GPU instead of the CPU
+    offload: bool = False
+    #: device kernel length per walker per block, in jiffies
+    gpu_kernel_jiffies: float = 12.0
+    #: host-side walker update work between offloads, in jiffies —
+    #: this is what makes the device duty cycle bursty (Listing 2:
+    #: Device Busy min 0 / avg ~15 / max ~52)
+    host_jiffies: float = 150.0
+    #: host-side launch/transfer cost per offload, in jiffies
+    launch_jiffies: float = 4.0
+    #: user fraction of the launch cost (low: mostly syscalls)
+    launch_user_frac: float = 0.5
+    #: device memory per walker (electron walker buffers)
+    vram_per_walker: int = 512 * MIB
+    #: host memory per rank
+    host_bytes: int = 64 * MIB
+    #: reduce the block energy over MPI each block
+    reduce_energy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise LaunchError("miniqmc needs at least one block")
+        if self.block_jiffies <= 0:
+            raise LaunchError("block_jiffies must be positive")
+
+
+def miniqmc_app(config: MiniQmcConfig):
+    """Build the application factory for :func:`repro.launch.launch_job`."""
+
+    def app(ctx: RankContext) -> Behavior:
+        def cpu_region(block: int):
+            def region(thread_num: int, team_size: int) -> Behavior:
+                factor = jitter_factor(
+                    config.seed, ctx.rank, thread_num, block, config.jitter
+                )
+                yield Compute(
+                    config.block_jiffies * factor, user_frac=config.user_frac
+                )
+
+            return region
+
+        def gpu_region(block: int):
+            def region(thread_num: int, team_size: int) -> Behavior:
+                if not ctx.gpus:
+                    raise LaunchError("offload requested but rank has no GPU")
+                device = ctx.gpus[0]
+                factor = jitter_factor(
+                    config.seed, ctx.rank, thread_num, block, config.jitter
+                )
+                # host-side walker updates between offloads
+                yield Compute(config.host_jiffies * factor, user_frac=0.95)
+                # host-side launch: data transfers, kernel launch syscalls
+                yield Compute(
+                    config.launch_jiffies, user_frac=config.launch_user_frac
+                )
+                request = KernelRequest(
+                    jiffies=config.gpu_kernel_jiffies * factor,
+                    memory_intensity=0.15,
+                    name=f"walker-b{block}-t{thread_num}",
+                )
+                done = yield Call(
+                    lambda k, l: device.submit(request, tick=k.now)
+                )
+                yield Wait(done)
+
+            return region
+
+        def main() -> Behavior:
+            omp = ctx.omp
+            assert omp is not None
+            yield Alloc(config.host_bytes)
+            if config.offload and ctx.gpus:
+                team = omp.num_threads
+                yield Call(
+                    lambda k, l: ctx.gpus[0].alloc_vram(
+                        config.vram_per_walker * team
+                    )
+                )
+            for block in range(config.blocks):
+                region = (
+                    gpu_region(block)
+                    if config.offload
+                    else cpu_region(block)
+                )
+                yield from omp.parallel(region)
+                if config.reduce_energy and ctx.comm is not None:
+                    energy = float(ctx.rank + block)
+                    yield from ctx.comm.allreduce(energy)
+            if config.offload and ctx.gpus:
+                team = omp.num_threads
+                yield Call(
+                    lambda k, l: ctx.gpus[0].free_vram(
+                        config.vram_per_walker * team
+                    )
+                )
+            yield from omp.shutdown()
+
+        return main()
+
+    return app

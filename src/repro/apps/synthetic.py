@@ -1,0 +1,158 @@
+"""Synthetic workloads for targeted experiments and failure injection.
+
+These exercise the monitor's edge paths: CPU- vs memory-bound kernels,
+a deadlocking app (for the §3.3 progress detector), an OOM-driving app
+(for the §3.5 memory contention check), a crashing app (for the
+abnormal-exit backtrace handler), and an imbalanced app (for
+utilization asymmetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.directives import Alloc, Compute, FileIo, Free, Sleep, Wait
+from repro.kernel.events import Event
+from repro.kernel.lwp import Behavior
+from repro.launch.job import RankContext
+from repro.units import MIB
+
+__all__ = [
+    "cpu_bound_app",
+    "io_bound_app",
+    "memory_bound_app",
+    "deadlock_app",
+    "oom_app",
+    "crash_app",
+    "imbalanced_app",
+    "SyntheticConfig",
+]
+
+
+@dataclass
+class SyntheticConfig:
+    """Common knobs for the synthetic apps."""
+
+    jiffies: float = 100.0
+    user_frac: float = 0.98
+    threads: int = 0  # 0 = use the runtime's default team size
+    alloc_bytes: int = 64 * MIB
+    phases: int = 4
+
+
+def cpu_bound_app(config: SyntheticConfig | None = None):
+    """Pure compute in an OpenMP team."""
+    cfg = config or SyntheticConfig()
+
+    def app(ctx: RankContext) -> Behavior:
+        def region(tn: int, team: int) -> Behavior:
+            yield Compute(cfg.jiffies, user_frac=cfg.user_frac)
+
+        def main() -> Behavior:
+            omp = ctx.omp
+            assert omp is not None
+            kwargs = {"num_threads": cfg.threads} if cfg.threads else {}
+            yield from omp.parallel(region, **kwargs)
+            yield from omp.shutdown()
+
+        return main()
+
+    return app
+
+
+def memory_bound_app(config: SyntheticConfig | None = None):
+    """Alternating allocate/compute/free with syscall-heavy phases."""
+    cfg = config or SyntheticConfig()
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            for _ in range(cfg.phases):
+                yield Alloc(cfg.alloc_bytes)
+                # memory-bound work: notable system time from paging
+                yield Compute(cfg.jiffies / cfg.phases, user_frac=0.6)
+                yield Free(cfg.alloc_bytes)
+            yield Sleep(1)
+
+        return main()
+
+    return app
+
+
+def deadlock_app(deadlock_after_jiffies: float = 50.0):
+    """Computes for a while, then blocks forever on an event nobody
+    sets — the classic lost-message / missing-partner hang."""
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            yield Compute(deadlock_after_jiffies, user_frac=0.95)
+            never = Event(name="never-signalled")
+            yield Wait(never)
+
+        return main()
+
+    return app
+
+
+def oom_app(chunk_bytes: int = 16 * 1024**3, chunks: int = 64):
+    """Allocates until the node runs out of memory."""
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            for _ in range(chunks):
+                yield Alloc(chunk_bytes)
+                yield Compute(2.0, user_frac=0.5)
+
+        return main()
+
+    return app
+
+
+def crash_app(crash_after_jiffies: float = 30.0):
+    """Raises mid-run: the simulated segmentation violation."""
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            yield Compute(crash_after_jiffies, user_frac=0.95)
+            raise RuntimeError("simulated segmentation fault (SIGSEGV)")
+
+        return main()
+
+    return app
+
+
+def imbalanced_app(config: SyntheticConfig | None = None, skew: float = 4.0):
+    """OpenMP team where thread i does ``1 + i*skew/team`` units of
+    work: classic load imbalance visible in the LWP utilization."""
+    cfg = config or SyntheticConfig()
+
+    def app(ctx: RankContext) -> Behavior:
+        def region(tn: int, team: int) -> Behavior:
+            factor = 1.0 + tn * skew / max(1, team - 1) if team > 1 else 1.0
+            yield Compute(cfg.jiffies * factor, user_frac=cfg.user_frac)
+
+        def main() -> Behavior:
+            omp = ctx.omp
+            assert omp is not None
+            kwargs = {"num_threads": cfg.threads} if cfg.threads else {}
+            yield from omp.parallel(region, **kwargs)
+            yield from omp.shutdown()
+
+        return main()
+
+    return app
+
+
+def io_bound_app(transfer_bytes: int = 256 * 1024**2, transfers: int = 8,
+                 compute_jiffies: float = 2.0):
+    """Alternating short compute and large blocking file transfers:
+    the checkpoint-writer pattern whose signature is iowait."""
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            for i in range(transfers):
+                yield Compute(compute_jiffies, user_frac=0.7)
+                yield FileIo(transfer_bytes, write=i % 2 == 0)
+
+        return main()
+
+    return app

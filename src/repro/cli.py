@@ -1,0 +1,148 @@
+"""``zerosum-sim``: run the paper's experiments from the command line.
+
+Subcommands:
+
+* ``topology <machine>`` — print the lstopo-style tree (Listing 1);
+* ``run "<srun command line>"`` — simulate a monitored miniQMC job
+  and print rank 0's utilization report (Listing 2 / Tables 1-3);
+* ``heatmap --ranks N`` — run the PIC proxy and print the Figure 5
+  heatmap;
+* ``live --seconds S`` — monitor this very process via the real /proc.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import build_cluster_view
+from repro.apps import MiniQmcConfig, PicConfig, miniqmc_app, pic_app
+from repro.core import (
+    ZeroSumConfig,
+    advise,
+    analyze,
+    build_report,
+    merge_monitors,
+    zerosum_mpi,
+)
+from repro.launch import SrunOptions, launch_job
+from repro.topology import MACHINE_FACTORIES, frontier_node, render_lstopo
+
+__all__ = ["main"]
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    factory = MACHINE_FACTORIES.get(args.machine)
+    if factory is None:
+        print(f"unknown machine {args.machine!r}; choose from "
+              f"{sorted(MACHINE_FACTORIES)}", file=sys.stderr)
+        return 2
+    print(render_lstopo(factory(), show_gpus=args.gpus))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    opts = SrunOptions.parse(args.cmdline)
+    app = miniqmc_app(
+        MiniQmcConfig(
+            blocks=args.blocks,
+            block_jiffies=args.block_jiffies,
+            jitter=0.01,
+            seed=args.seed,
+            offload=args.offload,
+        )
+    )
+    factory = MACHINE_FACTORIES[args.machine]
+    step = launch_job(
+        [factory()],
+        opts,
+        app,
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+    )
+    t0 = time.time()
+    step.run()
+    step.finalize()
+    monitor = step.monitors[0]
+    print(build_report(monitor).render())
+    print(analyze(monitor).render())
+    print(advise(monitor, opts).render())
+    if args.top:
+        print(build_cluster_view(step.monitors).render())
+    print(f"(simulated {step.duration_seconds:.2f} s "
+          f"in {time.time() - t0:.2f} s of wall time)")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    nodes_needed = max(1, (args.ranks + 55) // 56)
+    nodes = [frontier_node(name=f"frontier{i:05d}") for i in range(nodes_needed)]
+    opts = SrunOptions(ntasks=args.ranks, cpus_per_task=1, command="pic")
+    step = launch_job(
+        nodes,
+        opts,
+        pic_app(PicConfig(steps=args.steps)),
+        monitor_factory=zerosum_mpi(
+            ZeroSumConfig(collect_hwt=False, collect_gpu=False)
+        ),
+    )
+    step.run()
+    step.finalize()
+    matrix = merge_monitors(step.monitors)
+    print(matrix.render(bins=min(64, args.ranks)))
+    print(f"diagonal dominance (band 1): "
+          f"{matrix.diagonal_dominance(1) * 100:.1f} %")
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.live import LiveZeroSum
+
+    monitor = LiveZeroSum(ZeroSumConfig(period_seconds=args.period))
+    monitor.start()
+    deadline = time.time() + args.seconds
+    x = 0
+    while time.time() < deadline:  # generate some load to observe
+        x += sum(i * i for i in range(2000))
+    monitor.stop()
+    print(monitor.report().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="zerosum-sim", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="print a machine's topology")
+    p.add_argument("machine", choices=sorted(MACHINE_FACTORIES))
+    p.add_argument("--gpus", action="store_true", help="include GPU section")
+    p.set_defaults(fn=_cmd_topology)
+
+    p = sub.add_parser("run", help="simulate a monitored miniQMC job")
+    p.add_argument("cmdline", help='e.g. "OMP_NUM_THREADS=7 srun -n8 -c7 miniqmc"')
+    p.add_argument("--blocks", type=int, default=10)
+    p.add_argument("--block-jiffies", type=float, default=50.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--offload", action="store_true")
+    p.add_argument("--top", action="store_true",
+                   help="print the allocation-wide htop-style view")
+    p.add_argument("--machine", choices=sorted(MACHINE_FACTORIES),
+                   default="frontier")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("heatmap", help="PIC proxy communication heatmap")
+    p.add_argument("--ranks", type=int, default=64)
+    p.add_argument("--steps", type=int, default=6)
+    p.set_defaults(fn=_cmd_heatmap)
+
+    p = sub.add_parser("live", help="monitor this process via real /proc")
+    p.add_argument("--seconds", type=float, default=2.0)
+    p.add_argument("--period", type=float, default=0.25)
+    p.set_defaults(fn=_cmd_live)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""ZeroSum monitor configuration.
+
+Mirrors the runtime knobs of the paper's prototype: sampling period
+(1 s default), placement of the asynchronous monitoring thread (last
+hardware thread of the process by default, user configurable), which
+subsystems to collect, and export behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MonitorError
+
+__all__ = ["ZeroSumConfig"]
+
+
+@dataclass
+class ZeroSumConfig:
+    """Configuration for one ZeroSum monitor instance."""
+
+    #: sampling period in seconds (paper default: once per second)
+    period_seconds: float = 1.0
+    #: fixed CPU cost of taking one sample, in jiffies (drives the
+    #: measured overhead; 0.15 jiffy/s ≈ 0.15 % of one core)
+    sample_cost_jiffies: float = 0.15
+    #: additional cost per observed LWP (each thread means reading two
+    #: more /proc files), in jiffies
+    sample_cost_per_thread: float = 0.01
+    #: user fraction of the sampling work (the rest is system calls —
+    #: /proc reads are syscall heavy)
+    sample_user_frac: float = 0.4
+    #: where the async thread goes: "last" | "first" | an explicit OS CPU
+    #: index | None for unbound
+    monitor_cpu: str | int | None = "last"
+    collect_hwt: bool = True
+    collect_gpu: bool = True
+    collect_memory: bool = True
+    collect_mpi: bool = True
+    #: print a heartbeat line every N samples (0 disables)
+    heartbeat_every: int = 0
+    #: flag a suspected deadlock after N consecutive stalled samples
+    #: (0 disables detection)
+    deadlock_after: int = 3
+    #: what to do when a deadlock is flagged: "report" (default) or
+    #: "terminate" — kill the hung process to stop burning allocation
+    deadlock_action: str = "report"
+    #: how OpenMP threads are identified: "ompt" uses the 5.1+ tool
+    #: callback; "probe" is the pre-5.1 fallback that queries the team
+    #: directly (the paper's GNU-runtime path)
+    openmp_detection: str = "ompt"
+    #: install the abnormal-exit backtrace handler
+    signal_handler: bool = True
+    #: keep per-sample time series (needed for CSV export and Figures 6-7)
+    keep_series: bool = True
+    #: extra environment-style options
+    extra: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise MonitorError("period_seconds must be positive")
+        if self.sample_cost_jiffies < 0:
+            raise MonitorError("sample_cost_jiffies must be >= 0")
+        if self.sample_cost_per_thread < 0:
+            raise MonitorError("sample_cost_per_thread must be >= 0")
+        if not 0.0 <= self.sample_user_frac <= 1.0:
+            raise MonitorError("sample_user_frac must be in [0, 1]")
+        if isinstance(self.monitor_cpu, str) and self.monitor_cpu not in (
+            "last",
+            "first",
+        ):
+            raise MonitorError(
+                "monitor_cpu must be 'last', 'first', an int, or None"
+            )
+        if self.deadlock_after < 0:
+            raise MonitorError("deadlock_after must be >= 0")
+        if self.deadlock_action not in ("report", "terminate"):
+            raise MonitorError("deadlock_action must be 'report' or 'terminate'")
+        if self.openmp_detection not in ("ompt", "probe"):
+            raise MonitorError("openmp_detection must be 'ompt' or 'probe'")

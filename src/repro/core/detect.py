@@ -1,0 +1,93 @@
+"""Initial configuration detection (§3.1, phase 1).
+
+At startup ZeroSum queries ``/proc/self/status`` for the CPUs assigned
+to the process, ``/proc/meminfo`` for the memory subsystem, the MPI
+library (if initialized) for hostname/rank/size, and hwloc for the node
+topology.  :func:`detect_configuration` performs the same queries
+against the simulated substrate — *through the procfs text interface*,
+not by peeking at simulator objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.procfs.filesystem import ProcFS
+from repro.procfs.parsers import parse_meminfo, parse_pid_status
+from repro.topology.cpuset import CpuSet
+from repro.topology.lstopo import render_lstopo
+from repro.topology.objects import Machine
+
+__all__ = ["ProcessConfig", "detect_configuration"]
+
+
+@dataclass
+class ProcessConfig:
+    """What ZeroSum knows about the process after initialization."""
+
+    pid: int
+    hostname: str
+    cpus_allowed: CpuSet
+    mem_total_kib: int
+    mem_available_kib: int
+    command: str = ""
+    mpi_rank: Optional[int] = None
+    mpi_size: Optional[int] = None
+    num_threads: int = 1
+    topology_text: str = ""
+    gpu_visible: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def mpi_initialized(self) -> bool:
+        return self.mpi_rank is not None
+
+    def summary_lines(self) -> list[str]:
+        """Startup banner written to the process log."""
+        lines = [
+            f"ZeroSum attached to PID {self.pid} on {self.hostname}",
+            f"CPUs allowed: [{self.cpus_allowed.to_list()}]",
+            f"MemTotal: {self.mem_total_kib} kB, "
+            f"MemAvailable: {self.mem_available_kib} kB",
+        ]
+        if self.mpi_initialized:
+            lines.append(f"MPI rank {self.mpi_rank} of {self.mpi_size}")
+        if self.gpu_visible:
+            lines.append(
+                "Visible GPUs (physical indexes): "
+                + ", ".join(str(g) for g in self.gpu_visible)
+            )
+        return lines
+
+
+def detect_configuration(
+    procfs: ProcFS,
+    pid: int,
+    machine: Optional[Machine] = None,
+    include_topology: bool = True,
+) -> ProcessConfig:
+    """Run the §3.1 startup queries against a (simulated) /proc."""
+    status = parse_pid_status(procfs.read(f"/proc/{pid}/status"))
+    meminfo = parse_meminfo(procfs.read("/proc/meminfo"))
+    proc = procfs.node.processes[pid]
+    gpu_visible = tuple(
+        dev.info.physical_index
+        for dev in procfs.node.gpus
+        if dev.info.visible_index is not None
+    )
+    topo = ""
+    if include_topology:
+        topo = render_lstopo(machine or procfs.node.machine)
+    return ProcessConfig(
+        pid=pid,
+        hostname=procfs.node.hostname,
+        cpus_allowed=status.cpus_allowed,
+        mem_total_kib=meminfo["MemTotal"],
+        mem_available_kib=meminfo.get("MemAvailable", meminfo.get("MemFree", 0)),
+        command=proc.command,
+        mpi_rank=proc.rank,
+        mpi_size=proc.world_size,
+        num_threads=status.threads,
+        topology_text=topo,
+        gpu_visible=gpu_visible,
+    )

@@ -1,0 +1,142 @@
+"""Data exportation (§3.6): per-rank logs and CSV time series.
+
+Every monitored process can write a log containing the same summary
+rank 0 prints, followed by a detailed CSV dump of every sample — LWP
+state, faults, context switches and last CPU; HWT jiffies; memory; and
+GPU sensors — enabling the time-series analyses of Figures 6 and 7.
+Sinks are pluggable so the data can also be streamed to another tool
+(the LDMS/TAU integration direction of §6).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Protocol
+
+from repro.core.monitor import ZeroSum
+from repro.core.reports import build_report
+
+__all__ = ["ExportSink", "MemorySink", "FileSink", "write_log", "lwp_csv", "hwt_csv", "gpu_csv", "memory_csv"]
+
+
+class ExportSink(Protocol):
+    """Anything that accepts named text documents."""
+
+    def write(self, name: str, content: str) -> None: ...
+
+
+class MemorySink:
+    """Collects documents in a dict (tests, streaming integrations)."""
+
+    def __init__(self) -> None:
+        self.documents: dict[str, str] = {}
+
+    def write(self, name: str, content: str) -> None:
+        """Store the document in memory."""
+        self.documents[name] = content
+
+
+class FileSink:
+    """Writes documents under a directory (the per-rank log files)."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def write(self, name: str, content: str) -> None:
+        """Write the document under the sink directory."""
+        (self.directory / name).write_text(content)
+
+
+def lwp_csv(monitor: ZeroSum) -> str:
+    """All LWP samples as one CSV (tid as a leading column)."""
+    out = io.StringIO()
+    first = True
+    for tid in monitor.observed_tids():
+        series = monitor.lwp_series[tid]
+        text = series.to_csv(prefix_cols={"tid": tid})
+        if first:
+            out.write(text)
+            first = False
+        else:
+            out.write(text.split("\n", 1)[1])
+    return out.getvalue()
+
+
+def hwt_csv(monitor: ZeroSum) -> str:
+    """All HWT samples as one CSV (cpu as a leading column)."""
+    out = io.StringIO()
+    first = True
+    for cpu in sorted(monitor.hwt_series):
+        text = monitor.hwt_series[cpu].to_csv(prefix_cols={"cpu": cpu})
+        if first:
+            out.write(text)
+            first = False
+        else:
+            out.write(text.split("\n", 1)[1])
+    return out.getvalue()
+
+
+def gpu_csv(monitor: ZeroSum) -> str:
+    """All GPU samples as one CSV (visible device as a leading column)."""
+    out = io.StringIO()
+    first = True
+    for visible in sorted(monitor.gpu_series):
+        text = monitor.gpu_series[visible].to_csv(prefix_cols={"gpu": visible})
+        if first:
+            out.write(text)
+            first = False
+        else:
+            out.write(text.split("\n", 1)[1])
+    return out.getvalue()
+
+
+def memory_csv(monitor: ZeroSum) -> str:
+    """The memory/I-O sample series as CSV."""
+    return monitor.mem_series.to_csv()
+
+
+def write_log(monitor: ZeroSum, sink: ExportSink) -> str:
+    """Write one rank's full log; returns the log document name.
+
+    The log contains the startup banner, the topology, the utilization
+    report, heartbeats, crash reports, and the CSV sections — the
+    "detailed dump of all data collected" of §3.6.
+    """
+    rank = monitor.process.rank
+    name = f"zerosum.{rank if rank is not None else monitor.process.pid}.log"
+    report = build_report(monitor)
+    parts = []
+    parts.extend(monitor.initial.summary_lines())
+    parts.append("")
+    if monitor.initial.topology_text:
+        parts.append(monitor.initial.topology_text)
+        parts.append("")
+    parts.append(report.render())
+    if monitor.heartbeats:
+        parts.append("Heartbeats:")
+        parts.extend(monitor.heartbeats)
+        parts.append("")
+    if monitor.crash_reports:
+        parts.extend(monitor.crash_reports)
+        parts.append("")
+    parts.append("== LWP samples (CSV) ==")
+    parts.append(lwp_csv(monitor))
+    parts.append("== HWT samples (CSV) ==")
+    parts.append(hwt_csv(monitor))
+    if monitor.gpu_series:
+        parts.append("== GPU samples (CSV) ==")
+        parts.append(gpu_csv(monitor))
+    parts.append("== memory samples (CSV) ==")
+    parts.append(memory_csv(monitor))
+    if monitor.recorder is not None:
+        parts.append("== MPI point-to-point (CSV) ==")
+        from repro.core.heatmap import CommMatrix
+
+        mat = CommMatrix(
+            bytes=monitor.recorder.bytes, messages=monitor.recorder.messages
+        )
+        parts.append(mat.to_csv())
+    sink.write(name, "\n".join(parts))
+    return name

@@ -1,0 +1,89 @@
+"""Progress detection and deadlock suspicion (§3.3).
+
+The paper's prototype periodically writes a heartbeat to stdout and
+observes that the LWP state plus the idle/user/system counters would
+suffice to "detect a deadlock condition and possibly terminate the
+application to prevent wasting of allocation resources", leaving that
+as future work.  We implement it: :class:`ProgressTracker` watches the
+per-sample deltas of every application thread; if every thread is
+blocked and no CPU time accrues for N consecutive samples, a deadlock
+is flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ThreadSnapshot", "ProgressTracker"]
+
+
+@dataclass(frozen=True)
+class ThreadSnapshot:
+    """The per-thread facts one sample contributes to progress tracking."""
+
+    tid: int
+    state: str  # /proc state letter
+    total_jiffies: float  # utime + stime, cumulative
+
+
+@dataclass
+class ProgressTracker:
+    """Stall counting over successive samples.
+
+    ``threshold`` consecutive samples with zero progress and no
+    runnable thread flag a suspected deadlock.  ``ignore_tids`` holds
+    the monitor's own thread (it is always making progress) and other
+    helper threads that legitimately idle.
+    """
+
+    threshold: int
+    ignore_tids: set[int] = field(default_factory=set)
+    stalled_samples: int = 0
+    deadlock_sample: Optional[int] = None
+    _last_totals: dict[int, float] = field(default_factory=dict)
+    _samples_seen: int = 0
+
+    def observe(self, snapshots: list[ThreadSnapshot]) -> bool:
+        """Feed one sample; returns True if a deadlock is (now) flagged."""
+        self._samples_seen += 1
+        watched = [s for s in snapshots if s.tid not in self.ignore_tids]
+        if not watched:
+            return False
+
+        progressed = False
+        any_runnable = False
+        for snap in watched:
+            prev = self._last_totals.get(snap.tid)
+            if prev is None or snap.total_jiffies > prev + 1e-9:
+                progressed = True
+            if snap.state == "R":
+                any_runnable = True
+            self._last_totals[snap.tid] = snap.total_jiffies
+
+        if progressed or any_runnable:
+            self.stalled_samples = 0
+            return False
+
+        self.stalled_samples += 1
+        if (
+            self.threshold > 0
+            and self.stalled_samples >= self.threshold
+            and self.deadlock_sample is None
+        ):
+            self.deadlock_sample = self._samples_seen
+        return self.deadlock_sample is not None
+
+    @property
+    def deadlock_suspected(self) -> bool:
+        return self.deadlock_sample is not None
+
+    def describe(self) -> str:
+        """Human-readable progress verdict."""
+        if not self.deadlock_suspected:
+            return "progress normal"
+        return (
+            f"suspected deadlock: no thread progress for "
+            f"{self.stalled_samples} consecutive samples "
+            f"(first flagged at sample {self.deadlock_sample})"
+        )

@@ -1,0 +1,438 @@
+"""The ZeroSum monitor: asynchronous sampling of LWPs, HWTs, GPUs, memory.
+
+This is the paper's primary contribution.  One :class:`ZeroSum`
+instance attaches to one process (the LD_PRELOAD injection of §3.1 is
+modelled by :mod:`repro.core.wrapper`).  It
+
+1. detects the initial configuration through ``/proc`` (phase 1);
+2. spawns an asynchronous monitoring thread, pinned by default to the
+   *last* hardware thread of the process's affinity list;
+3. every period (default 1 s) walks ``/proc/<pid>/task``, parses each
+   task's ``stat``/``status``, reads the ``cpuN`` lines of
+   ``/proc/stat`` restricted to the process cpuset, reads
+   ``/proc/meminfo``, and queries the GPU SMI — all through the same
+   textual interfaces a real deployment uses;
+4. wraps the MPI point-to-point API of its rank to accumulate the
+   communication matrix;
+5. tracks progress/deadlock, emits heartbeats, and on finalize holds
+   everything the report and CSV exporters need.
+
+The sampling work itself costs simulated CPU (configurable jiffies per
+sample), which is what the Figure 8 overhead experiment measures.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional
+
+from repro.core.config import ZeroSumConfig
+from repro.core.detect import ProcessConfig, detect_configuration
+from repro.core.heartbeat import ProgressTracker, ThreadSnapshot
+from repro.core.records import (
+    HWT_COLUMNS,
+    LWP_COLUMNS,
+    MEM_COLUMNS,
+    SeriesBuffer,
+    state_code,
+)
+from repro.errors import MonitorError
+from repro.gpu.metrics import METRIC_ORDER
+from repro.gpu.backend import SmiBackend, make_smi
+from repro.kernel.directives import Call, Compute, Sleep
+from repro.kernel.lwp import LWP, Behavior, ThreadRole
+from repro.kernel.process import SimProcess
+from repro.kernel.scheduler import SimKernel
+from repro.mpi.comm import RankComm
+from repro.mpi.interpose import P2PRecorder
+from repro.openmp.ompt import OmptEvent, OmptThreadType
+from repro.openmp.runtime import OpenMPRuntime
+from repro.procfs.filesystem import ProcFS
+from repro.procfs.parsers import (
+    parse_meminfo,
+    parse_pid_io,
+    parse_pid_stat,
+    parse_pid_status,
+    parse_proc_stat,
+)
+from repro.topology.cpuset import CpuSet
+
+__all__ = ["ZeroSum"]
+
+_GPU_COLUMNS = ("tick",) + METRIC_ORDER
+
+
+class ZeroSum:
+    """User-space monitor attached to one (simulated) process."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        process: SimProcess,
+        config: Optional[ZeroSumConfig] = None,
+        gpus: Optional[list] = None,
+        comm: Optional[RankComm] = None,
+        omp: Optional[OpenMPRuntime] = None,
+        stream: Optional["SampleStream"] = None,
+    ):
+        self.kernel = kernel
+        self.process = process
+        self.config = config or ZeroSumConfig()
+        self.procfs = ProcFS(kernel, process.node, self_pid=process.pid)
+        self.start_tick = kernel.now
+        self.end_tick: Optional[int] = None
+
+        # phase 1: initial configuration detection
+        self.initial: ProcessConfig = detect_configuration(
+            self.procfs, process.pid, machine=process.node.machine
+        )
+
+        # GPU SMI session over the devices visible to this rank,
+        # dispatched to the vendor-appropriate backend (§3.4)
+        self.smi: Optional[SmiBackend] = None
+        if gpus and self.config.collect_gpu:
+            self.smi = make_smi(gpus)
+
+        # MPI point-to-point interposition
+        self.comm = comm
+        self.recorder: Optional[P2PRecorder] = None
+        if comm is not None and self.config.collect_mpi:
+            self.recorder = P2PRecorder(comm.Get_size())
+            self.recorder.attach(comm)
+
+        # OpenMP thread identification: OMPT callback (5.1+) or the
+        # pre-5.1 probe that queries the team directly (§3.1.2)
+        self._openmp_tids: set[int] = set()
+        self._omp = omp
+        if omp is not None and self.config.openmp_detection == "ompt":
+            self.register_openmp(omp)
+
+        # sample storage
+        self.lwp_series: dict[int, SeriesBuffer] = {}
+        self.lwp_affinity: dict[int, CpuSet] = {}
+        self.lwp_names: dict[int, str] = {}
+        self.hwt_series: dict[int, SeriesBuffer] = {}
+        self.gpu_series: dict[int, SeriesBuffer] = {}
+        self.mem_series = SeriesBuffer(MEM_COLUMNS)
+        self.samples_taken = 0
+        self._last_thread_count = 0
+        #: optional live export bus (the LDMS/TAU seam, §6)
+        self.stream = stream
+        self._prev_sample_tick = self.start_tick
+        self._prev_totals: dict[int, float] = {}
+        self.heartbeats: list[str] = []
+        self.crash_reports: list[str] = []
+
+        if self.config.signal_handler:
+            kernel.on_crash.append(self._on_crash)
+
+        # progress / deadlock tracking
+        self.progress = ProgressTracker(threshold=self.config.deadlock_after)
+
+        # the asynchronous monitoring thread
+        self.monitor_lwp: LWP = kernel.spawn_thread(
+            process,
+            self._monitor_behavior(),
+            name="zerosum",
+            affinity=self._monitor_affinity(),
+            roles={ThreadRole.ZEROSUM},
+            daemon=True,
+        )
+        self.progress.ignore_tids.add(self.monitor_lwp.tid)
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def _monitor_affinity(self) -> CpuSet:
+        cfg = self.config.monitor_cpu
+        cpuset = self.process.cpuset
+        if cfg is None:
+            return cpuset
+        if cfg == "last":
+            return CpuSet([cpuset.last()])
+        if cfg == "first":
+            return CpuSet([cpuset.first()])
+        if isinstance(cfg, int):
+            if cfg not in self.process.node.machine.cpuset():
+                raise MonitorError(f"monitor_cpu {cfg} not on this node")
+            return CpuSet([cfg])
+        raise MonitorError(f"bad monitor_cpu {cfg!r}")
+
+    def probe_openmp_team(self) -> None:
+        """Pre-OMPT fallback: identify the team by asking the runtime
+        (the simulated analogue of launching a probe parallel region
+        and collecting the member LWP ids, §3.1.2)."""
+        if self._omp is None or not self._omp._initialized:
+            return
+        for worker in self._omp.workers:
+            self._openmp_tids.add(worker.tid)
+        self._openmp_tids.add(self.process.pid)
+
+    def register_openmp(self, omp: OpenMPRuntime) -> None:
+        """Register the OMPT thread-begin callback (§3.1.2)."""
+
+        def on_thread_begin(thread_type: OmptThreadType, lwp: LWP) -> None:
+            self._openmp_tids.add(lwp.tid)
+
+        omp.ompt.set_callback(OmptEvent.THREAD_BEGIN, on_thread_begin)
+
+    # ------------------------------------------------------------------
+    def _monitor_behavior(self) -> Behavior:
+        period = max(1, round(self.config.period_seconds * self.kernel.clock.hz))
+        while True:
+            yield Sleep(period)
+            yield Call(lambda k, l: self.take_sample())
+            cost = (
+                self.config.sample_cost_jiffies
+                + self.config.sample_cost_per_thread * self._last_thread_count
+            )
+            if cost > 0:
+                yield Compute(cost, user_frac=self.config.sample_user_frac)
+
+    # ------------------------------------------------------------------
+    def classify(self, tid: int) -> str:
+        """Thread type label, as in the paper's LWP table."""
+        roles = []
+        if tid == self.process.pid:
+            roles.append("Main")
+        if tid == self.monitor_lwp.tid:
+            roles.append("ZeroSum")
+        if tid in self._openmp_tids:
+            roles.append("OpenMP")
+        if not roles:
+            roles.append("Other")
+        return ", ".join(roles)
+
+    # ------------------------------------------------------------------
+    def take_sample(self) -> None:
+        """One periodic observation (runs inside the monitor thread)."""
+        tick = self.kernel.now
+        pid = self.process.pid
+        snapshots: list[ThreadSnapshot] = []
+
+        # pre-5.1 OpenMP runtimes: probe the team like the paper's
+        # fallback parallel region does
+        if self._omp is not None and self.config.openmp_detection == "probe":
+            self.probe_openmp_team()
+
+        # -- LWPs: /proc/<pid>/task/<tid>/{stat,status} ----------------
+        try:
+            tids = [int(t) for t in self.procfs.listdir(f"/proc/{pid}/task")]
+        except Exception:
+            tids = []
+        for tid in tids:
+            try:
+                stat = parse_pid_stat(
+                    self.procfs.read(f"/proc/{pid}/task/{tid}/stat")
+                )
+                status = parse_pid_status(
+                    self.procfs.read(f"/proc/{pid}/task/{tid}/status")
+                )
+            except Exception:
+                continue  # transient thread died mid-sample
+            series = self.lwp_series.get(tid)
+            if series is None:
+                series = SeriesBuffer(LWP_COLUMNS)
+                self.lwp_series[tid] = series
+            if self.config.keep_series or len(series) == 0:
+                series.append(
+                    (
+                        tick,
+                        state_code(stat.state),
+                        stat.utime,
+                        stat.stime,
+                        status.nonvoluntary_ctxt_switches,
+                        status.voluntary_ctxt_switches,
+                        stat.minflt,
+                        stat.majflt,
+                        stat.processor,
+                    )
+                )
+            else:  # summary mode: keep only the latest row
+                series._data[0] = (
+                    tick,
+                    state_code(stat.state),
+                    stat.utime,
+                    stat.stime,
+                    status.nonvoluntary_ctxt_switches,
+                    status.voluntary_ctxt_switches,
+                    stat.minflt,
+                    stat.majflt,
+                    stat.processor,
+                )
+            # affinity may change after creation: re-query every period
+            self.lwp_affinity[tid] = status.cpus_allowed
+            self.lwp_names[tid] = stat.comm
+            snapshots.append(
+                ThreadSnapshot(
+                    tid=tid,
+                    state=stat.state,
+                    total_jiffies=stat.utime + stat.stime,
+                )
+            )
+
+        # -- HWTs: /proc/stat restricted to the process affinity --------
+        if self.config.collect_hwt:
+            cpu_times = parse_proc_stat(self.procfs.read("/proc/stat"))
+            for cpu in self.initial.cpus_allowed:
+                times = cpu_times.get(cpu)
+                if times is None:
+                    continue
+                series = self.hwt_series.get(cpu)
+                if series is None:
+                    series = SeriesBuffer(HWT_COLUMNS)
+                    self.hwt_series[cpu] = series
+                series.append(
+                    (tick, times.user, times.system, times.idle, times.iowait)
+                )
+
+        # -- memory: /proc/meminfo + /proc/<pid>/status ------------------
+        if self.config.collect_memory:
+            meminfo = parse_meminfo(self.procfs.read("/proc/meminfo"))
+            self_status = parse_pid_status(self.procfs.read(f"/proc/{pid}/status"))
+            try:
+                io = parse_pid_io(self.procfs.read(f"/proc/{pid}/io"))
+                io_read, io_write = io.read_bytes // 1024, io.write_bytes // 1024
+            except Exception:
+                io_read = io_write = 0
+            self.mem_series.append(
+                (
+                    tick,
+                    meminfo.get("MemTotal", 0),
+                    meminfo.get("MemFree", 0),
+                    meminfo.get("MemAvailable", 0),
+                    self_status.vm_rss_kib,
+                    io_read,
+                    io_write,
+                )
+            )
+
+        # -- GPUs: vendor SMI --------------------------------------------
+        if self.smi is not None:
+            for visible in range(self.smi.num_devices()):
+                sample = self.smi.sample(visible, tick)
+                series = self.gpu_series.get(visible)
+                if series is None:
+                    series = SeriesBuffer(_GPU_COLUMNS)
+                    self.gpu_series[visible] = series
+                series.append(
+                    (tick,) + tuple(getattr(sample, m) for m in METRIC_ORDER)
+                )
+
+        self.samples_taken += 1
+        self._last_thread_count = len(snapshots)
+
+        # -- heartbeat + deadlock suspicion --------------------------------
+        if (
+            self.config.heartbeat_every
+            and self.samples_taken % self.config.heartbeat_every == 0
+        ):
+            self.heartbeats.append(
+                f"[zerosum] t={tick / self.kernel.clock.hz:.1f}s "
+                f"pid={pid} viable, {len(snapshots)} threads"
+            )
+        # a process whose main thread returned is finished, not
+        # deadlocked (daemon helper threads may outlive it)
+        if self.config.deadlock_after and self.process.main_thread.alive:
+            flagged = self.progress.observe(snapshots)
+            if flagged and self.config.deadlock_action == "terminate" \
+                    and self.process.alive:
+                self.heartbeats.append(
+                    f"[zerosum] t={tick / self.kernel.clock.hz:.1f}s "
+                    f"pid={pid} TERMINATING: {self.progress.describe()}"
+                )
+                self.kernel.kill_process(self.process, exit_code=124)
+
+        # -- live streaming (LDMS/TAU seam, §6) -----------------------------
+        if self.stream is not None:
+            self.stream.publish(self._make_event(tick, snapshots))
+        self._prev_sample_tick = tick
+        for snap in snapshots:
+            self._prev_totals[snap.tid] = snap.total_jiffies
+
+    # ------------------------------------------------------------------
+    def _make_event(self, tick: int, snapshots) -> "SampleEvent":
+        from repro.core.stream import SampleEvent
+
+        interval = max(1, tick - self._prev_sample_tick)
+        app = [s for s in snapshots if s.tid != self.monitor_lwp.tid]
+        deltas = [
+            s.total_jiffies - self._prev_totals.get(s.tid, 0.0) for s in app
+        ]
+        busy_threads = [d for d in deltas if d > 0] or deltas
+        busy_pct = (
+            100.0 * sum(busy_threads) / (interval * len(busy_threads))
+            if busy_threads else 0.0
+        )
+        gpu_busy = -1.0
+        if self.gpu_series:
+            vals = [
+                float(series.column("busy_percent")[-1])
+                for series in self.gpu_series.values()
+                if len(series)
+            ]
+            if vals:
+                gpu_busy = sum(vals) / len(vals)
+        rss = mem_avail = 0.0
+        if len(self.mem_series):
+            rss = self.mem_series.last("rss_kib")
+            mem_avail = self.mem_series.last("mem_available_kib")
+        return SampleEvent(
+            tick=tick,
+            seconds=tick / self.kernel.clock.hz,
+            hostname=self.process.node.hostname,
+            pid=self.process.pid,
+            rank=self.process.rank,
+            threads=len(snapshots),
+            runnable_threads=sum(1 for s in snapshots if s.state == "R"),
+            busy_pct=busy_pct,
+            rss_kib=rss,
+            mem_available_kib=mem_avail,
+            gpu_busy_pct=gpu_busy,
+            deadlock_suspected=self.progress.deadlock_suspected,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_crash(self, kernel: SimKernel, lwp: LWP, exc: BaseException) -> None:
+        if lwp.process is not self.process:
+            return
+        tb = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        self.crash_reports.append(
+            f"*** ZeroSum abnormal-exit handler: LWP {lwp.tid} "
+            f"({self.classify(lwp.tid)}) died at t="
+            f"{kernel.now / kernel.clock.hz:.2f}s ***\n{tb}"
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Take the final sample and close the observation window."""
+        if self._finalized:
+            return
+        self.take_sample()
+        self.end_tick = self.kernel.now
+        if self.recorder is not None:
+            self.recorder.detach_all()
+        self._finalized = True
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def duration_ticks(self) -> int:
+        end = self.end_tick if self.end_tick is not None else self.kernel.now
+        return max(1, end - self.start_tick)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ticks / self.kernel.clock.hz
+
+    def observed_tids(self) -> list[int]:
+        """Every thread id the monitor ever sampled, sorted."""
+        return sorted(self.lwp_series)
+
+    def lwp_last(self, tid: int, column: str) -> float:
+        """Latest sampled value of one LWP column."""
+        return self.lwp_series[tid].last(column)
+
+    def deadlock_suspected(self) -> bool:
+        """Whether the progress tracker has flagged a deadlock."""
+        return self.progress.deadlock_suspected

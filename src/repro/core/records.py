@@ -1,0 +1,135 @@
+"""Sample storage: growable column buffers for periodic observations.
+
+ZeroSum keeps everything it samples so the log can be dumped as CSV
+time series (§3.6) and post-processed into the stacked charts of
+Figures 6 and 7.  Counters are stored *cumulatively*, as read from
+``/proc``; per-interval rates are derived at analysis time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import MonitorError
+
+__all__ = [
+    "SeriesBuffer",
+    "LWP_COLUMNS",
+    "HWT_COLUMNS",
+    "MEM_COLUMNS",
+    "GPU_COLUMNS",
+    "STATE_CODES",
+    "state_code",
+]
+
+#: numeric codes for /proc state letters, stable across exports
+STATE_CODES: dict[str, int] = {"R": 0, "S": 1, "D": 2, "T": 3, "Z": 4, "X": 5}
+
+
+def state_code(letter: str) -> int:
+    """Numeric code for a /proc state letter (unknown -> dead)."""
+    return STATE_CODES.get(letter, 5)
+
+
+LWP_COLUMNS: tuple[str, ...] = (
+    "tick",
+    "state",
+    "utime",
+    "stime",
+    "nv_ctx",
+    "ctx",
+    "minflt",
+    "majflt",
+    "processor",
+)
+
+HWT_COLUMNS: tuple[str, ...] = ("tick", "user", "system", "idle", "iowait")
+
+MEM_COLUMNS: tuple[str, ...] = (
+    "tick",
+    "mem_total_kib",
+    "mem_free_kib",
+    "mem_available_kib",
+    "rss_kib",
+    "io_read_kib",
+    "io_write_kib",
+)
+
+from repro.gpu.metrics import METRIC_ORDER as _METRIC_ORDER
+
+#: GPU columns follow repro.gpu.metrics.METRIC_ORDER, prefixed by tick.
+GPU_COLUMNS: tuple[str, ...] = ("tick",) + _METRIC_ORDER
+
+
+class SeriesBuffer:
+    """A small column store with amortized O(1) row append."""
+
+    def __init__(self, columns: Sequence[str], capacity: int = 64):
+        if not columns:
+            raise MonitorError("series needs at least one column")
+        self.columns = tuple(columns)
+        self._data = np.zeros((max(1, capacity), len(self.columns)), dtype=np.float64)
+        self._len = 0
+
+    def append(self, row: Sequence[float]) -> None:
+        """Append one row (width-checked)."""
+        if len(row) != len(self.columns):
+            raise MonitorError(
+                f"row has {len(row)} values, series has {len(self.columns)} columns"
+            )
+        if self._len == self._data.shape[0]:
+            grown = np.zeros(
+                (self._data.shape[0] * 2, len(self.columns)), dtype=np.float64
+            )
+            grown[: self._len] = self._data
+            self._data = grown
+        self._data[self._len] = row
+        self._len += 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def array(self) -> np.ndarray:
+        """(n, ncols) view of the recorded rows (no copy)."""
+        return self._data[: self._len]
+
+    def column(self, name: str) -> np.ndarray:
+        """One named column of the recorded rows."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise MonitorError(f"no column {name!r}") from None
+        return self.array[:, idx]
+
+    def last(self, name: str) -> float:
+        """Latest value of a column; raises when empty."""
+        col = self.column(name)
+        if len(col) == 0:
+            raise MonitorError("series is empty")
+        return float(col[-1])
+
+    def deltas(self, name: str) -> np.ndarray:
+        """Per-interval increments of a cumulative counter column."""
+        return np.diff(self.column(name), prepend=0.0)
+
+    def iter_rows(self) -> Iterator[dict[str, float]]:
+        """Rows as dicts, oldest first."""
+        for i in range(self._len):
+            yield dict(zip(self.columns, self._data[i]))
+
+    def to_csv(self, prefix_cols: dict[str, object] | None = None) -> str:
+        """Render as CSV text, optionally with constant prefix columns."""
+        prefix = prefix_cols or {}
+        header = list(prefix) + list(self.columns)
+        lines = [",".join(header)]
+        pvals = [str(v) for v in prefix.values()]
+        for i in range(self._len):
+            row = [
+                f"{v:.6g}" if not float(v).is_integer() else str(int(v))
+                for v in self._data[i]
+            ]
+            lines.append(",".join(pvals + row))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,200 @@
+"""End-of-execution utilization report (§3.4, Listing 2).
+
+Rank 0 writes this summary to stdout; every rank writes the same to its
+log file.  The layout reproduces the paper's Listing 2: duration,
+process summary, the LWP table, the HWT table, and per-GPU
+min/avg/max sensor statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.monitor import ZeroSum
+from repro.gpu.metrics import METRIC_LABELS, METRIC_ORDER
+from repro.topology.cpuset import CpuSet
+
+__all__ = ["LwpRow", "HwtRow", "GpuStat", "UtilizationReport", "build_report", "format_cpus"]
+
+
+def format_cpus(cpuset: CpuSet, expand_limit: int = 16) -> str:
+    """``[1,2,3]`` for short sets, range syntax for long ones."""
+    if len(cpuset) <= expand_limit:
+        return "[" + ",".join(str(c) for c in cpuset) + "]"
+    return "[" + cpuset.to_list() + "]"
+
+
+@dataclass(frozen=True)
+class LwpRow:
+    """One line of the LWP (thread) summary table."""
+
+    tid: int
+    kind: str
+    stime_pct: float
+    utime_pct: float
+    nv_ctx: int
+    ctx: int
+    cpus: CpuSet
+
+    def render(self) -> str:
+        """The Listing 2 LWP table line."""
+        return (
+            f"LWP {self.tid}: {self.kind} - "
+            f"stime: {self.stime_pct:.2f}, utime: {self.utime_pct:.2f}, "
+            f"nv_ctx: {self.nv_ctx}, ctx: {self.ctx}, "
+            f"CPUs: {format_cpus(self.cpus)}"
+        )
+
+
+@dataclass(frozen=True)
+class HwtRow:
+    """One line of the hardware (HWT) summary table."""
+
+    cpu: int
+    idle_pct: float
+    system_pct: float
+    user_pct: float
+
+    def render(self) -> str:
+        """The Listing 2 hardware table line."""
+        return (
+            f"CPU {self.cpu:03d} - idle: {self.idle_pct:.2f}, "
+            f"system: {self.system_pct:.2f}, user: {self.user_pct:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class GpuStat:
+    """min/avg/max of one metric on one device."""
+
+    label: str
+    minimum: float
+    average: float
+    maximum: float
+
+    def render(self) -> str:
+        """The Listing 2 GPU metric line (min avg max)."""
+        return (
+            f"    {self.label}: {self.minimum:f}  {self.average:f}  "
+            f"{self.maximum:f}"
+        )
+
+
+@dataclass
+class UtilizationReport:
+    """Structured report; ``render()`` emits the Listing 2 text."""
+
+    duration_seconds: float
+    rank: Optional[int]
+    pid: int
+    hostname: str
+    cpus_allowed: CpuSet
+    lwp_rows: list[LwpRow] = field(default_factory=list)
+    hwt_rows: list[HwtRow] = field(default_factory=list)
+    gpu_stats: dict[int, list[GpuStat]] = field(default_factory=dict)
+    deadlock_note: str = ""
+
+    def render(self) -> str:
+        """The complete Listing 2 text report."""
+        lines = [f"Duration of execution: {self.duration_seconds:.3f} s", ""]
+        lines.append("Process Summary:")
+        rank_part = f"MPI {self.rank:03d} - " if self.rank is not None else ""
+        lines.append(
+            f"{rank_part}PID {self.pid} - Node {self.hostname} - "
+            f"CPUs allowed: {format_cpus(self.cpus_allowed)}"
+        )
+        lines += ["", "LWP (thread) Summary:"]
+        for row in self.lwp_rows:
+            lines.append(row.render())
+        if self.hwt_rows:
+            lines += ["", "Hardware Summary:"]
+            for hrow in self.hwt_rows:
+                lines.append(hrow.render())
+        for visible in sorted(self.gpu_stats):
+            lines += ["", f"GPU {visible} - (metric:  min  avg  max)"]
+            for stat in self.gpu_stats[visible]:
+                lines.append(stat.render())
+        if self.deadlock_note:
+            lines += ["", f"*** {self.deadlock_note} ***"]
+        return "\n".join(lines) + "\n"
+
+    # -- structured accessors used by tests and analysis ----------------
+    def lwp_by_kind(self, kind: str) -> list[LwpRow]:
+        """LWP rows whose kind label contains ``kind``."""
+        return [r for r in self.lwp_rows if kind in r.kind]
+
+    def total_nv_ctx(self) -> int:
+        """Sum of non-voluntary context switches over all rows."""
+        return sum(r.nv_ctx for r in self.lwp_rows)
+
+    def idle_cpus(self, threshold_pct: float = 95.0) -> list[int]:
+        """Allocated CPUs idling above the threshold."""
+        return [r.cpu for r in self.hwt_rows if r.idle_pct >= threshold_pct]
+
+
+def build_report(monitor: ZeroSum) -> UtilizationReport:
+    """Assemble the report from a (finalized) monitor's samples."""
+    duration = monitor.duration_ticks
+    report = UtilizationReport(
+        duration_seconds=monitor.duration_seconds,
+        rank=monitor.process.rank,
+        pid=monitor.process.pid,
+        hostname=monitor.process.node.hostname,
+        cpus_allowed=monitor.initial.cpus_allowed,
+    )
+
+    for tid in monitor.observed_tids():
+        series = monitor.lwp_series[tid]
+        # normalize by the thread's own observation window: a thread that
+        # exits between samples keeps the utilization it showed while
+        # observable, instead of being diluted by the tail it missed
+        window = max(1.0, series.last("tick") - monitor.start_tick)
+        report.lwp_rows.append(
+            LwpRow(
+                tid=tid,
+                kind=monitor.classify(tid),
+                stime_pct=100.0 * series.last("stime") / window,
+                utime_pct=100.0 * series.last("utime") / window,
+                nv_ctx=int(series.last("nv_ctx")),
+                ctx=int(series.last("ctx")),
+                cpus=monitor.lwp_affinity.get(tid, CpuSet()),
+            )
+        )
+
+    for cpu in sorted(monitor.hwt_series):
+        series = monitor.hwt_series[cpu]
+        user = series.last("user")
+        system = series.last("system")
+        idle = series.last("idle")
+        report.hwt_rows.append(
+            HwtRow(
+                cpu=cpu,
+                idle_pct=100.0 * idle / duration,
+                system_pct=100.0 * system / duration,
+                user_pct=100.0 * user / duration,
+            )
+        )
+
+    for visible in sorted(monitor.gpu_series):
+        series = monitor.gpu_series[visible]
+        stats = []
+        for metric in METRIC_ORDER:
+            col = series.column(metric)
+            if len(col) == 0:
+                continue
+            stats.append(
+                GpuStat(
+                    label=METRIC_LABELS[metric],
+                    minimum=float(np.min(col)),
+                    average=float(np.mean(col)),
+                    maximum=float(np.max(col)),
+                )
+            )
+        report.gpu_stats[visible] = stats
+
+    if monitor.deadlock_suspected():
+        report.deadlock_note = monitor.progress.describe()
+    return report

@@ -1,0 +1,154 @@
+"""Live data streaming (§3.3/§6): feed samples to other tools.
+
+The paper closes with "ZeroSum could be utilized to feed
+application-oriented information to system-oriented services such as
+LDMS" and "interfaces to ZeroSum could make its data accessible to
+application performance tools like TAU".  This module is that seam:
+
+* :class:`SampleStream` — a publish/subscribe bus the monitor pushes a
+  condensed :class:`SampleEvent` onto after every sampling period;
+* :class:`LdmsAggregator` — an LDMS-like in-memory metric service
+  subscribed to any number of ranks, answering "what is rank r /
+  node n doing *right now*" queries mid-run;
+* :class:`CallbackSubscriber` — the TAU/PerfStubs-style adapter: hand
+  it any callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+__all__ = [
+    "SampleEvent",
+    "StreamSubscriber",
+    "SampleStream",
+    "CallbackSubscriber",
+    "LdmsAggregator",
+]
+
+
+@dataclass(frozen=True)
+class SampleEvent:
+    """One period's condensed observation of one process."""
+
+    tick: int
+    seconds: float
+    hostname: str
+    pid: int
+    rank: Optional[int]
+    threads: int
+    runnable_threads: int
+    busy_pct: float  # mean user+system across app threads, last interval
+    rss_kib: float
+    mem_available_kib: float
+    gpu_busy_pct: float  # -1 when no GPU visible
+    deadlock_suspected: bool
+
+
+class StreamSubscriber(Protocol):
+    """Anything that consumes sample events."""
+
+    def on_sample(self, event: SampleEvent) -> None: ...
+
+
+class SampleStream:
+    """A tiny synchronous publish/subscribe bus."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[StreamSubscriber] = []
+        self.published = 0
+
+    def subscribe(self, subscriber: StreamSubscriber) -> None:
+        """Register a consumer for all future events."""
+        self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: StreamSubscriber) -> None:
+        """Remove a consumer; unknown subscribers are ignored."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def publish(self, event: SampleEvent) -> None:
+        """Deliver one event synchronously to every subscriber."""
+        self.published += 1
+        for subscriber in list(self._subscribers):
+            subscriber.on_sample(event)
+
+
+class CallbackSubscriber:
+    """Adapter: wrap a plain callable as a subscriber."""
+
+    def __init__(self, fn: Callable[[SampleEvent], None]):
+        self._fn = fn
+
+    def on_sample(self, event: SampleEvent) -> None:
+        """Subscriber entry point: fold one event into the rolling state."""
+        self._fn(event)
+
+
+@dataclass
+class _RankState:
+    last: Optional[SampleEvent] = None
+    events: int = 0
+    peak_rss_kib: float = 0.0
+    busy_sum: float = 0.0
+
+
+class LdmsAggregator:
+    """An in-memory metric service collecting the whole job's stream.
+
+    Mimics how an LDMS daemon would hold the latest sample per
+    producer and expose simple aggregate queries.
+    """
+
+    def __init__(self) -> None:
+        self._ranks: dict[int, _RankState] = {}
+        self.events = 0
+
+    # -- subscriber interface -------------------------------------------
+    def on_sample(self, event: SampleEvent) -> None:
+        """Subscriber entry point: fold one event into rolling state."""
+        self.events += 1
+        key = event.rank if event.rank is not None else -event.pid
+        state = self._ranks.setdefault(key, _RankState())
+        state.last = event
+        state.events += 1
+        state.peak_rss_kib = max(state.peak_rss_kib, event.rss_kib)
+        state.busy_sum += event.busy_pct
+
+    # -- queries ------------------------------------------------------------
+    def ranks(self) -> list[int]:
+        """Ranks that have reported at least once."""
+        return sorted(self._ranks)
+
+    def latest(self, rank: int) -> Optional[SampleEvent]:
+        """Most recent event from a rank, or None if never seen."""
+        state = self._ranks.get(rank)
+        return state.last if state else None
+
+    def mean_busy(self, rank: int) -> float:
+        """Mean busy% across all of a rank's events (0 if unseen)."""
+        state = self._ranks.get(rank)
+        if not state or state.events == 0:
+            return 0.0
+        return state.busy_sum / state.events
+
+    def peak_rss_kib(self, rank: int) -> float:
+        """Largest RSS the rank ever reported."""
+        state = self._ranks.get(rank)
+        return state.peak_rss_kib if state else 0.0
+
+    def job_busy_pct(self) -> float:
+        """Mean of every rank's most recent busy%."""
+        lasts = [s.last.busy_pct for s in self._ranks.values() if s.last]
+        return sum(lasts) / len(lasts) if lasts else 0.0
+
+    def stalled_ranks(self) -> list[int]:
+        """Ranks whose latest event carries a deadlock suspicion."""
+        return [
+            rank
+            for rank, state in sorted(self._ranks.items())
+            if state.last is not None and state.last.deadlock_suspected
+        ]

@@ -1,0 +1,60 @@
+"""The ``zerosum-mpi`` wrapper (LD_PRELOAD injection, §3.1).
+
+On a real system ZeroSum is injected with ``LD_PRELOAD`` and
+initializes itself by wrapping ``__libc_start_main``.  In the
+simulation the equivalent seam is the launcher's ``monitor_factory``:
+:func:`zerosum_mpi` returns a factory that attaches one
+:class:`~repro.core.monitor.ZeroSum` instance to every rank's process
+before the job starts, wiring up the GPU SMI session, the MPI
+point-to-point wrapper, and the OMPT callback.
+
+Example::
+
+    step = launch_job(
+        [frontier_node()],
+        SrunOptions.parse("srun -n8 -c7 miniqmc"),
+        miniqmc_app(MiniQmcConfig()),
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+    )
+    step.run()
+    step.finalize()
+    print(build_report(step.monitors[0]).render())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import ZeroSumConfig
+from repro.core.monitor import ZeroSum
+from repro.core.stream import SampleStream
+from repro.launch.job import RankContext
+
+__all__ = ["zerosum_mpi"]
+
+
+def zerosum_mpi(
+    config: Optional[ZeroSumConfig] = None,
+    stream: Optional["SampleStream"] = None,
+) -> Callable[[RankContext], ZeroSum]:
+    """Monitor factory for :func:`repro.launch.launch_job`.
+
+    Pass a :class:`~repro.core.stream.SampleStream` to receive one
+    condensed event per rank per sampling period during the run (the
+    LDMS/TAU integration seam of §6).
+    """
+    cfg = config or ZeroSumConfig()
+
+    def factory(ctx: RankContext) -> ZeroSum:
+        assert ctx.kernel is not None and ctx.process is not None
+        return ZeroSum(
+            ctx.kernel,
+            ctx.process,
+            config=cfg,
+            gpus=ctx.gpus,
+            comm=ctx.comm,
+            omp=ctx.omp,
+            stream=stream,
+        )
+
+    return factory

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ZeroSum reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class TopologyError(ReproError):
+    """Malformed or inconsistent hardware topology description."""
+
+
+class CpuSetError(ReproError):
+    """Invalid cpuset list syntax or out-of-range CPU index."""
+
+
+class ProcFSError(ReproError):
+    """Unknown path or unparsable content in the (simulated) /proc."""
+
+
+class SchedulerError(ReproError):
+    """Invalid scheduling request (bad affinity, unknown LWP, ...)."""
+
+
+class DeadlockError(ReproError):
+    """The simulated system can make no further progress."""
+
+
+class OutOfMemoryError(ReproError):
+    """A simulated allocation exceeded available node memory."""
+
+
+class GpuError(ReproError):
+    """Invalid GPU device index or request."""
+
+
+class MpiError(ReproError):
+    """Invalid MPI usage in the simulated communicator."""
+
+
+class LaunchError(ReproError):
+    """The job launcher could not satisfy the requested resources."""
+
+
+class MonitorError(ReproError):
+    """ZeroSum monitor misuse (double attach, finalize before run, ...)."""

@@ -1,0 +1,115 @@
+"""Vendor dispatch: pick the right SMI backend for the devices.
+
+§3.4: the data "is collected using the ROCm SMI API.  For other
+architectures (CUDA, SYCL), ZeroSum is integrated with the NVIDIA NVML
+library and Intel DPC++/SYCL API to query similar statistics."  The
+monitor is backend-agnostic; :func:`make_smi` inspects the device
+names and returns the matching session wrapped in the common
+``num_devices()/sample()/memory_usage()`` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.metrics import GpuSample
+from repro.gpu.nvml import Nvml
+from repro.gpu.rsmi import RocmSmi
+from repro.gpu.sycl import SyclRuntime
+
+__all__ = ["SmiBackend", "make_smi", "backend_name"]
+
+
+class SmiBackend(Protocol):
+    """What the monitor needs from any vendor session."""
+
+    def num_devices(self) -> int:
+        """How many devices this session can query."""
+        ...
+
+    def sample(self, visible_index: int, tick: int) -> GpuSample:
+        """Read every sensor of one device (delta-based rates)."""
+        ...
+
+    def memory_usage(self, visible_index: int) -> tuple[int, int]:
+        """(used, free) device memory in bytes."""
+        ...
+
+    def device(self, visible_index: int) -> GpuDevice:
+        """The underlying device handle."""
+        ...
+
+
+class _NvmlBackend:
+    """Adapter: NVML's init/handle ritual behind the common surface."""
+
+    name = "nvml"
+
+    def __init__(self, devices: Sequence[GpuDevice]):
+        self._nvml = Nvml(devices)
+        self._nvml.init()
+
+    def num_devices(self) -> int:
+        return self._nvml.device_count()
+
+    def sample(self, visible_index: int, tick: int) -> GpuSample:
+        return self._nvml.sample(visible_index, tick)
+
+    def memory_usage(self, visible_index: int) -> tuple[int, int]:
+        info = self._nvml.memory_info(visible_index)
+        return info.used, info.free
+
+    def device(self, visible_index: int) -> GpuDevice:
+        return self._nvml.device_handle(visible_index)
+
+
+class _SyclBackend:
+    """Adapter: SYCL/Level-Zero sysman behind the common surface."""
+
+    name = "sycl"
+
+    def __init__(self, devices: Sequence[GpuDevice]):
+        self._sycl = SyclRuntime(devices)
+
+    def num_devices(self) -> int:
+        return self._sycl.device_count()
+
+    def sample(self, visible_index: int, tick: int) -> GpuSample:
+        return self._sycl.sample(visible_index, tick)
+
+    def memory_usage(self, visible_index: int) -> tuple[int, int]:
+        state = self._sycl.memory_state(visible_index)
+        return state.used, state.free
+
+    def device(self, visible_index: int) -> GpuDevice:
+        return self._sycl._device(visible_index)
+
+
+class _RsmiBackend(RocmSmi):
+    name = "rsmi"
+
+    def device(self, visible_index: int) -> GpuDevice:  # type: ignore[override]
+        return super().device(visible_index)
+
+
+def backend_name(devices: Sequence[GpuDevice]) -> str:
+    """Which vendor stack these devices speak."""
+    if not devices:
+        return "none"
+    name = devices[0].info.name.lower()
+    if "nvidia" in name or "a100" in name or "v100" in name:
+        return "nvml"
+    if "intel" in name or "max" in name or "xe" in name:
+        return "sycl"
+    return "rsmi"
+
+
+def make_smi(devices: Sequence[GpuDevice]) -> SmiBackend:
+    """Instantiate the vendor-appropriate SMI session."""
+    kind = backend_name(devices)
+    if kind == "nvml":
+        return _NvmlBackend(devices)
+    if kind == "sycl":
+        return _SyclBackend(devices)
+    return _RsmiBackend(devices)

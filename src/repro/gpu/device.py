@@ -1,0 +1,189 @@
+"""Simulated GPU device (one MI250X GCD, A100, ...).
+
+The device executes offloaded kernels from a FIFO queue, one at a time,
+and integrates a small physical model so that the sensors ZeroSum reads
+behave like the real thing:
+
+* **DVFS**: the graphics clock ramps between ``min_clock`` and
+  ``max_clock`` with utilization;
+* **power** follows clock and busyness between ``idle_power`` and
+  ``max_power``;
+* **temperature** is a first-order lag toward a power-dependent target;
+* **VRAM/GTT** track explicit device allocations by the host threads;
+* **busy %** is derived from busy-jiffy deltas between sensor reads,
+  exactly how SMI tools compute it.
+
+Thread interaction happens through the kernel simulator: submitting a
+kernel returns an :class:`~repro.kernel.events.Event` the calling LWP
+can block on; completion sets the event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import GpuError
+from repro.kernel.events import Event
+from repro.topology.objects import GpuInfo
+
+if TYPE_CHECKING:
+    from repro.kernel.scheduler import SimKernel
+
+__all__ = ["KernelRequest", "GpuDevice"]
+
+
+@dataclass
+class KernelRequest:
+    """One offloaded kernel: duration plus activity characteristics."""
+
+    jiffies: float
+    #: fraction of cycles hitting the memory controller (0..1)
+    memory_intensity: float = 0.1
+    name: str = "kernel"
+    done: Event = field(default_factory=lambda: Event("gpu-kernel-done"))
+    remaining: float = field(init=False)
+    submitted_tick: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.jiffies <= 0:
+            raise GpuError("kernel duration must be positive")
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise GpuError("memory_intensity must be in [0, 1]")
+        self.remaining = float(self.jiffies)
+
+
+class GpuDevice:
+    """One simulated accelerator device."""
+
+    def __init__(
+        self,
+        info: GpuInfo,
+        min_clock_mhz: float = 800.0,
+        max_clock_mhz: float = 1700.0,
+        soc_clock_mhz: float = 1090.0,
+        idle_power_w: float = 90.0,
+        max_power_w: float = 140.0,
+        idle_temp_c: float = 35.0,
+        temp_per_watt: float = 0.09,
+        seed: int = 0,
+    ):
+        self.info = info
+        self.min_clock_mhz = min_clock_mhz
+        self.max_clock_mhz = max_clock_mhz
+        self.soc_clock_mhz = soc_clock_mhz
+        self.idle_power_w = idle_power_w
+        self.max_power_w = max_power_w
+        self.idle_temp_c = idle_temp_c
+        self.temp_per_watt = temp_per_watt
+        self._rng = np.random.default_rng((seed, info.physical_index))
+
+        self.queue: deque[KernelRequest] = deque()
+        self.active: Optional[KernelRequest] = None
+
+        # cumulative counters
+        self.busy_jiffies: float = 0.0
+        self.total_jiffies: float = 0.0
+        self.energy_j: float = 0.0
+        self.gfx_activity: float = 0.0
+        self.memory_activity: float = 0.0
+        self.kernels_completed: int = 0
+
+        # memory
+        self.vram_used: int = 15044608  # runtime baseline, as in Listing 2
+        self.gtt_used: int = 11624448
+        self.vram_peak: int = self.vram_used
+
+        # instantaneous sensors
+        self.clock_gfx_mhz: float = min_clock_mhz
+        self.power_w: float = idle_power_w
+        self.temperature_c: float = idle_temp_c
+
+    # -- host-side API ------------------------------------------------------
+    def submit(self, request: KernelRequest, tick: int = 0) -> Event:
+        """Enqueue a kernel; the returned event fires on completion."""
+        request.submitted_tick = tick
+        self.queue.append(request)
+        return request.done
+
+    def alloc_vram(self, nbytes: int) -> None:
+        """Reserve device memory; raises GpuError when exhausted."""
+        if nbytes < 0:
+            raise GpuError("allocation must be >= 0")
+        if self.vram_used + nbytes > self.info.memory_bytes:
+            raise GpuError(
+                f"GPU {self.info.physical_index} out of memory: "
+                f"{self.vram_used + nbytes} > {self.info.memory_bytes}"
+            )
+        self.vram_used += nbytes
+        self.vram_peak = max(self.vram_peak, self.vram_used)
+
+    def free_vram(self, nbytes: int) -> None:
+        """Return device memory."""
+        if nbytes < 0:
+            raise GpuError("free must be >= 0")
+        self.vram_used = max(0, self.vram_used - nbytes)
+
+    @property
+    def vram_free(self) -> int:
+        return self.info.memory_bytes - self.vram_used
+
+    # -- simulation ----------------------------------------------------------
+    def tick(self, kernel: "SimKernel") -> None:
+        """Advance one jiffy of device time."""
+        self.total_jiffies += 1.0
+        if self.active is None and self.queue:
+            self.active = self.queue.popleft()
+
+        busy = self.active is not None
+        if busy:
+            assert self.active is not None
+            self.active.remaining -= 1.0
+            self.busy_jiffies += 1.0
+            self.gfx_activity += self.clock_gfx_mhz * 0.36
+            self.memory_activity += self.active.memory_intensity * 24.0
+            if self.active.remaining <= 0:
+                self.kernels_completed += 1
+                self.active.done.set(kernel)
+                self.active = None
+
+        # DVFS: ramp clock toward the load-appropriate level
+        target_clock = self.max_clock_mhz if busy else self.min_clock_mhz
+        self.clock_gfx_mhz += 0.5 * (target_clock - self.clock_gfx_mhz)
+
+        # power tracks clock + busyness, with sensor noise
+        frac = (self.clock_gfx_mhz - self.min_clock_mhz) / (
+            self.max_clock_mhz - self.min_clock_mhz
+        )
+        base = self.idle_power_w + frac * (self.max_power_w - self.idle_power_w)
+        noise = float(self._rng.normal(0.0, 0.5)) if busy else 0.0
+        self.power_w = float(np.clip(base + noise, self.idle_power_w, self.max_power_w))
+        self.energy_j += self.power_w * 0.01  # one jiffy = 10 ms
+
+        # first-order thermal response
+        target_temp = self.idle_temp_c + self.temp_per_watt * (
+            self.power_w - self.idle_power_w
+        )
+        self.temperature_c += 0.02 * (target_temp - self.temperature_c)
+
+    # -- derived sensors ------------------------------------------------------
+    @property
+    def voltage_mv(self) -> float:
+        """Core voltage scales with the graphics clock (806-906 mV)."""
+        frac = (self.clock_gfx_mhz - self.min_clock_mhz) / (
+            self.max_clock_mhz - self.min_clock_mhz
+        )
+        return 806.0 + frac * 100.0
+
+    @property
+    def pending_kernels(self) -> int:
+        return len(self.queue) + (1 if self.active is not None else 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GpuDevice {self.info.name} #{self.info.physical_index} "
+            f"busy={self.active is not None} queue={len(self.queue)}>"
+        )

@@ -1,0 +1,76 @@
+"""GPU metric names and sample records.
+
+The metric set mirrors the ROCm-SMI values ZeroSum prints for an
+MI250X GCD in Listing 2 of the paper.  Each :class:`GpuSample` is one
+periodic observation; ZeroSum reports min/mean/max per metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSample", "METRIC_ORDER", "METRIC_LABELS"]
+
+
+@dataclass(frozen=True)
+class GpuSample:
+    """One periodic reading of every sensor on one device."""
+
+    tick: int
+    clock_gfx_mhz: float
+    clock_soc_mhz: float
+    busy_percent: float
+    energy_avg_j: float
+    gfx_activity: float
+    gfx_activity_percent: float
+    memory_activity: float
+    memory_busy_percent: float
+    memory_controller_activity: float
+    power_avg_w: float
+    temperature_c: float
+    uvd_vcn_activity: float
+    used_gtt_bytes: float
+    used_vram_bytes: float
+    used_visible_vram_bytes: float
+    voltage_mv: float
+
+
+#: Field order of the GPU section in the utilization report (Listing 2).
+METRIC_ORDER: tuple[str, ...] = (
+    "clock_gfx_mhz",
+    "clock_soc_mhz",
+    "busy_percent",
+    "energy_avg_j",
+    "gfx_activity",
+    "gfx_activity_percent",
+    "memory_activity",
+    "memory_busy_percent",
+    "memory_controller_activity",
+    "power_avg_w",
+    "temperature_c",
+    "uvd_vcn_activity",
+    "used_gtt_bytes",
+    "used_vram_bytes",
+    "used_visible_vram_bytes",
+    "voltage_mv",
+)
+
+#: Human-readable labels, exactly as the paper's report prints them.
+METRIC_LABELS: dict[str, str] = {
+    "clock_gfx_mhz": "Clock Frequency, GLX (MHz)",
+    "clock_soc_mhz": "Clock Frequency, SOC (MHz)",
+    "busy_percent": "Device Busy %",
+    "energy_avg_j": "Energy Average (J)",
+    "gfx_activity": "GFX Activity",
+    "gfx_activity_percent": "GFX Activity %",
+    "memory_activity": "Memory Activity",
+    "memory_busy_percent": "Memory Busy %",
+    "memory_controller_activity": "Memory Controller Activity",
+    "power_avg_w": "Power Average (W)",
+    "temperature_c": "Temperature (C)",
+    "uvd_vcn_activity": "UVD|VCN Activity",
+    "used_gtt_bytes": "Used GTT Bytes",
+    "used_vram_bytes": "Used VRAM Bytes",
+    "used_visible_vram_bytes": "Used Visible VRAM Bytes",
+    "voltage_mv": "Voltage (mV)",
+}

@@ -1,0 +1,102 @@
+"""NVML-style query API over simulated devices.
+
+ZeroSum's NVIDIA backend uses the NVIDIA Management Library; this shim
+mirrors its call shapes (``nvmlDeviceGetUtilizationRates``,
+``nvmlDeviceGetMemoryInfo``, ...) so the monitor code exercises the
+same integration path on simulated A100/V100 devices.  Internally it
+shares the delta-based sampling of :class:`~repro.gpu.rsmi.RocmSmi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GpuError
+from repro.gpu.device import GpuDevice
+from repro.gpu.metrics import GpuSample
+from repro.gpu.rsmi import RocmSmi
+
+__all__ = ["Nvml", "NvmlUtilization", "NvmlMemory"]
+
+
+@dataclass(frozen=True)
+class NvmlUtilization:
+    """Result of ``nvmlDeviceGetUtilizationRates``."""
+
+    gpu: float  # percent
+    memory: float  # percent
+
+
+@dataclass(frozen=True)
+class NvmlMemory:
+    """Result of ``nvmlDeviceGetMemoryInfo``."""
+
+    total: int
+    used: int
+    free: int
+
+
+class Nvml:
+    """Stateful NVML session over a list of visible devices."""
+
+    def __init__(self, devices: Sequence[GpuDevice]):
+        self._smi = RocmSmi(devices)
+        self._initialized = False
+
+    # NVML requires explicit init/shutdown; keep the ritual honest
+    def init(self) -> None:
+        """``nvmlInit``: must precede every query."""
+        self._initialized = True
+
+    def shutdown(self) -> None:
+        """``nvmlShutdown``: invalidates the session."""
+        self._initialized = False
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise GpuError("NVML not initialized (call init() first)")
+
+    def device_count(self) -> int:
+        """``nvmlDeviceGetCount``."""
+        self._check()
+        return self._smi.num_devices()
+
+    def device_handle(self, index: int) -> GpuDevice:
+        """``nvmlDeviceGetHandleByIndex``."""
+        self._check()
+        return self._smi.device(index)
+
+    def utilization_rates(self, index: int, tick: int) -> NvmlUtilization:
+        """``nvmlDeviceGetUtilizationRates`` (delta-based)."""
+        self._check()
+        s = self._smi.sample(index, tick)
+        return NvmlUtilization(gpu=s.busy_percent, memory=s.memory_busy_percent)
+
+    def memory_info(self, index: int) -> NvmlMemory:
+        """``nvmlDeviceGetMemoryInfo``."""
+        self._check()
+        dev = self._smi.device(index)
+        return NvmlMemory(
+            total=dev.info.memory_bytes, used=dev.vram_used, free=dev.vram_free
+        )
+
+    def power_usage_mw(self, index: int) -> int:
+        """``nvmlDeviceGetPowerUsage`` in milliwatts."""
+        self._check()
+        return round(self._smi.device(index).power_w * 1000)
+
+    def temperature_c(self, index: int) -> int:
+        """``nvmlDeviceGetTemperature``."""
+        self._check()
+        return round(self._smi.device(index).temperature_c)
+
+    def clock_mhz(self, index: int) -> int:
+        """``nvmlDeviceGetClockInfo`` for the graphics domain."""
+        self._check()
+        return round(self._smi.device(index).clock_gfx_mhz)
+
+    def sample(self, index: int, tick: int) -> GpuSample:
+        """Full-sensor sample (what ZeroSum records each period)."""
+        self._check()
+        return self._smi.sample(index, tick)

@@ -1,0 +1,111 @@
+"""Intel DPC++/SYCL-style query API over simulated devices.
+
+§3.4: "For other architectures (CUDA, SYCL), ZeroSum is integrated
+with the NVIDIA NVML library and Intel DPC++/SYCL API to query similar
+statistics."  This shim mirrors the SYCL/Level-Zero sysman call shapes
+(device discovery by selector, ``zes``-style engine/memory/power
+queries) over :class:`~repro.gpu.device.GpuDevice` instances, sharing
+the delta-based sampling backend with the other vendors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import GpuError
+from repro.gpu.device import GpuDevice
+from repro.gpu.metrics import GpuSample
+from repro.gpu.rsmi import RocmSmi
+
+__all__ = ["SyclDeviceInfo", "SyclEngineStats", "SyclMemoryStats", "SyclRuntime"]
+
+
+@dataclass(frozen=True)
+class SyclDeviceInfo:
+    """``sycl::device::get_info`` essentials."""
+
+    name: str
+    vendor: str
+    global_mem_size: int
+    max_compute_units: int
+
+
+@dataclass(frozen=True)
+class SyclEngineStats:
+    """``zes_engine_stats_t``-style compute engine utilization."""
+
+    active_percent: float
+    timestamp_tick: int
+
+
+@dataclass(frozen=True)
+class SyclMemoryStats:
+    """``zes_mem_state_t``-style memory state."""
+
+    size: int
+    free: int
+
+    @property
+    def used(self) -> int:
+        return self.size - self.free
+
+
+class SyclRuntime:
+    """A SYCL platform with sysman-style telemetry."""
+
+    def __init__(self, devices: Sequence[GpuDevice]):
+        self._devices = list(devices)
+        self._smi = RocmSmi(devices)
+
+    # -- discovery ------------------------------------------------------
+    def device_count(self, selector: str = "gpu") -> int:
+        """Devices matching a ``sycl::device_selector`` kind."""
+        if selector not in ("gpu", "default"):
+            return 0
+        return len(self._devices)
+
+    def get_device_info(self, index: int) -> SyclDeviceInfo:
+        """``sycl::device::get_info`` essentials."""
+        dev = self._device(index)
+        return SyclDeviceInfo(
+            name=dev.info.name,
+            vendor="Simulated Silicon",
+            global_mem_size=dev.info.memory_bytes,
+            max_compute_units=128,
+        )
+
+    def _device(self, index: int) -> GpuDevice:
+        try:
+            return self._devices[index]
+        except IndexError:
+            raise GpuError(f"no SYCL device {index}") from None
+
+    # -- sysman telemetry --------------------------------------------------
+    def engine_stats(self, index: int, tick: int) -> SyclEngineStats:
+        """``zesEngineGetActivity``-style utilization (delta-based)."""
+        sample = self._smi.sample(index, tick)
+        return SyclEngineStats(
+            active_percent=sample.busy_percent, timestamp_tick=tick
+        )
+
+    def memory_state(self, index: int) -> SyclMemoryStats:
+        """``zesMemoryGetState``-style used/free."""
+        dev = self._device(index)
+        return SyclMemoryStats(size=dev.info.memory_bytes, free=dev.vram_free)
+
+    def power_watts(self, index: int) -> float:
+        """Sysman power draw."""
+        return self._device(index).power_w
+
+    def temperature_celsius(self, index: int) -> float:
+        """Sysman temperature sensor."""
+        return self._device(index).temperature_c
+
+    def frequency_mhz(self, index: int) -> float:
+        """Sysman frequency domain (GPU)."""
+        return self._device(index).clock_gfx_mhz
+
+    def sample(self, index: int, tick: int) -> GpuSample:
+        """Full-sensor sample, shared record with the other backends."""
+        return self._smi.sample(index, tick)

@@ -1,0 +1,150 @@
+"""Directives: the instruction set of simulated threads.
+
+An LWP's *behavior* is a Python generator that yields directives.  The
+scheduler interprets them; arbitrary Python may run between yields (that
+is how the ZeroSum sampling thread does its real work), but simulated
+time only passes at yield points.
+
+Time-consuming directives (the scheduler charges CPU ticks or blocks):
+
+* :class:`Compute` — burn CPU jiffies, split between user and system time.
+* :class:`Sleep` — timed sleep (thread state ``S``).
+* :class:`Wait` — block on a wait object until woken.
+* :class:`YieldCpu` — ``sched_yield``: voluntarily drop the CPU but stay
+  runnable.
+
+Instantaneous directives (processed without consuming a tick):
+
+* :class:`Alloc` / :class:`Free` — adjust process RSS and node memory.
+* :class:`Call` — invoke a Python callback (used by monitors and apps to
+  interact with the outside of the simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.kernel.events import WaitObject
+
+__all__ = ["Directive", "Compute", "Sleep", "Wait", "YieldCpu", "Alloc", "Free", "Call", "FileIo"]
+
+
+class Directive:
+    """Base class; only subclasses are meaningful to the scheduler."""
+
+    #: instantaneous directives never occupy the CPU for a tick
+    instant = False
+
+
+@dataclass
+class Compute(Directive):
+    """Execute for ``jiffies`` CPU jiffies.
+
+    ``user_frac`` of the time is accounted as user time, the remainder
+    as system time, on both the LWP and the hardware thread it runs on.
+    Fractional jiffy amounts are supported; the scheduler accumulates
+    float jiffies and the procfs layer floors them like the kernel.
+    """
+
+    jiffies: float
+    user_frac: float = 1.0
+    #: filled in by the scheduler
+    remaining: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.jiffies < 0:
+            raise ValueError("Compute jiffies must be >= 0")
+        if not 0.0 <= self.user_frac <= 1.0:
+            raise ValueError("user_frac must be in [0, 1]")
+        self.remaining = float(self.jiffies)
+
+
+@dataclass
+class Sleep(Directive):
+    """Sleep for a fixed number of ticks (thread state ``S``)."""
+
+    ticks: int
+
+    def __post_init__(self) -> None:
+        if self.ticks < 0:
+            raise ValueError("Sleep ticks must be >= 0")
+
+
+@dataclass
+class Wait(Directive):
+    """Block until the wait object wakes this thread.
+
+    ``state`` is the /proc state letter while blocked: ``"S"`` for
+    interruptible sleep (locks, condition variables, GPU completion) or
+    ``"D"`` for uninterruptible I/O-style waits.
+    """
+
+    obj: "WaitObject"
+    state: str = "S"
+
+    def __post_init__(self) -> None:
+        if self.state not in ("S", "D"):
+            raise ValueError("Wait state must be 'S' or 'D'")
+
+
+@dataclass
+class YieldCpu(Directive):
+    """Voluntarily yield the CPU; counts one voluntary context switch."""
+
+
+@dataclass
+class Alloc(Directive):
+    """Instantaneously allocate memory (grows RSS, may trigger OOM)."""
+
+    nbytes: int
+    instant = True
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("Alloc size must be >= 0")
+
+
+@dataclass
+class Free(Directive):
+    """Instantaneously release memory previously allocated."""
+
+    nbytes: int
+    instant = True
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("Free size must be >= 0")
+
+
+@dataclass
+class Call(Directive):
+    """Run a Python callback inside the simulation, in zero sim-time.
+
+    The callback receives the kernel and the calling LWP, letting
+    monitoring code observe the system exactly when its thread is
+    scheduled.
+    """
+
+    fn: Callable[..., object]
+    instant = True
+    #: result of the call, readable by the generator after the yield
+    result: Optional[object] = field(default=None, init=False)
+
+
+@dataclass
+class FileIo(Directive):
+    """Blocking file transfer through the node's I/O subsystem.
+
+    The thread enters ``D`` (uninterruptible) state until the
+    filesystem finishes moving ``nbytes``; the CPU it vacated accrues
+    iowait while otherwise idle, exactly as Linux accounts it.
+    """
+
+    nbytes: int
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("FileIo must transfer at least one byte")

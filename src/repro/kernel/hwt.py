@@ -1,0 +1,89 @@
+"""Per-hardware-thread scheduler state and jiffy accounting.
+
+Each :class:`HWTState` mirrors one ``cpuN`` line of ``/proc/stat``:
+user / nice / system / idle / iowait counters in jiffies, plus the
+runqueue the simulated scheduler maintains for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.kernel.lwp import LWP
+
+__all__ = ["HWTState"]
+
+
+class HWTState:
+    """Runqueue + accounting for one hardware thread (logical CPU)."""
+
+    __slots__ = (
+        "os_index",
+        "runqueue",
+        "current",
+        "user",
+        "nice",
+        "system",
+        "iowait",
+        "irq",
+        "softirq",
+        "preempt_pending",
+        "busy_prev",
+    )
+
+    def __init__(self, os_index: int):
+        self.os_index = os_index
+        #: set when a wakeup placed a thread here that should preempt
+        self.preempt_pending: bool = False
+        #: whether this lane executed work last tick (SMT throughput model)
+        self.busy_prev: bool = False
+        #: runnable LWPs waiting for this CPU (excludes ``current``)
+        self.runqueue: deque["LWP"] = deque()
+        self.current: Optional["LWP"] = None
+        self.user: float = 0.0
+        self.nice: float = 0.0
+        self.system: float = 0.0
+        self.iowait: float = 0.0
+        self.irq: float = 0.0
+        self.softirq: float = 0.0
+
+    @property
+    def nr_running(self) -> int:
+        """Runqueue depth including the currently running LWP."""
+        return len(self.runqueue) + (1 if self.current is not None else 0)
+
+    @property
+    def busy_jiffies(self) -> float:
+        return self.user + self.nice + self.system + self.irq + self.softirq
+
+    def idle_at(self, now: int) -> float:
+        """Idle jiffies are derived, not stored: every elapsed tick the
+        CPU was not busy, it was idle — so fully idle CPUs cost the
+        simulation loop nothing."""
+        return max(0.0, now - self.busy_jiffies - self.iowait)
+
+    def charge_busy(self, user_frac: float) -> None:
+        """Account one busy jiffy split between user and system."""
+        self.user += user_frac
+        self.system += 1.0 - user_frac
+
+    def enqueue(self, lwp: "LWP", front: bool = False) -> None:
+        """Queue a runnable thread on this CPU."""
+        if front:
+            self.runqueue.appendleft(lwp)
+        else:
+            self.runqueue.append(lwp)
+        lwp.cur_cpu = self.os_index
+
+    def dequeue(self, lwp: "LWP") -> None:
+        """Remove a thread from the runqueue if queued."""
+        try:
+            self.runqueue.remove(lwp)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        cur = self.current.tid if self.current else None
+        return f"<HWT {self.os_index} running={cur} queued={len(self.runqueue)}>"

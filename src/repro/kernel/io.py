@@ -1,0 +1,109 @@
+"""Filesystem I/O: blocking transfers, iowait accounting, counters.
+
+§2 lists increased/variable disk latency, data-transfer variability
+and filesystem quotas among the failure causes users want visibility
+into, and cites Darshan as the specialized tool for the subsystem.
+This module gives the substrate a filesystem:
+
+* an :class:`IoSubsystem` per node with bandwidth and base latency —
+  contention emerges naturally because concurrent transfers share the
+  bandwidth;
+* threads issue :class:`IoRequest` transfers and block in ``D``
+  state while they are serviced;
+* the CPU a blocked thread last ran on accrues **iowait** (instead of
+  idle) while it sits otherwise empty — matching the Linux definition
+  that ZeroSum's HWT report reads from ``/proc/stat``;
+* per-process read/write counters back a ``/proc/<pid>/io`` file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.kernel.events import Event
+
+if TYPE_CHECKING:
+    from repro.kernel.lwp import LWP
+    from repro.kernel.scheduler import SimKernel
+
+__all__ = ["IoRequest", "IoSubsystem"]
+
+
+@dataclass
+class IoRequest:
+    """One outstanding file transfer."""
+
+    nbytes: int
+    write: bool
+    lwp: "LWP"
+    done: Event = field(default_factory=lambda: Event("io-done"))
+    remaining: float = field(init=False)
+    issued_tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise SchedulerError("I/O transfer must move at least one byte")
+        self.remaining = float(self.nbytes)
+
+
+class IoSubsystem:
+    """One node's filesystem connection (e.g. a Lustre client)."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_tick: float = 2.0e7,  # ~2 GB/s
+        base_latency_ticks: int = 1,
+    ):
+        if bandwidth_bytes_per_tick <= 0:
+            raise SchedulerError("I/O bandwidth must be positive")
+        self.bandwidth = bandwidth_bytes_per_tick
+        self.base_latency = max(0, base_latency_ticks)
+        self.inflight: list[IoRequest] = []
+        #: cumulative bytes moved, for diagnostics
+        self.total_read = 0
+        self.total_written = 0
+
+    def submit(self, kernel: "SimKernel", request: IoRequest) -> Event:
+        """Start a transfer; the returned event fires on completion."""
+        # base latency is enforced as a minimum service time in tick()
+        request.issued_tick = kernel.now
+        self.inflight.append(request)
+        return request.done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.inflight)
+
+    def tick(self, kernel: "SimKernel") -> None:
+        """Advance one jiffy: share bandwidth across in-flight requests."""
+        if not self.inflight:
+            return
+        share = self.bandwidth / len(self.inflight)
+        finished: list[IoRequest] = []
+        for request in self.inflight:
+            request.remaining -= share
+            if request.remaining <= 0 and (
+                kernel.now - request.issued_tick >= self.base_latency
+            ):
+                finished.append(request)
+        for request in finished:
+            self.inflight.remove(request)
+            proc = request.lwp.process
+            if request.write:
+                proc.write_bytes += request.nbytes
+                self.total_written += request.nbytes
+            else:
+                proc.read_bytes += request.nbytes
+                self.total_read += request.nbytes
+            request.done.set(kernel)
+
+    def waiting_cpus(self) -> set[int]:
+        """CPUs whose last occupant is blocked on this subsystem —
+        these accrue iowait while otherwise idle."""
+        return {
+            r.lwp.cur_cpu
+            for r in self.inflight
+            if r.lwp.cur_cpu is not None and r.lwp.blocked
+        }

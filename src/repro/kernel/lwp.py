@@ -1,0 +1,150 @@
+"""Light-weight processes (threads) and their accounting state.
+
+An LWP carries exactly the counters that ``/proc/<pid>/task/<tid>/stat``
+and ``status`` expose and that ZeroSum samples: user/system jiffies,
+voluntary and non-voluntary context switches, minor/major page faults,
+current state letter, the CPU last executed on, and the affinity mask.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.kernel.directives import Directive
+from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:
+    from repro.kernel.process import SimProcess
+
+__all__ = ["ThreadState", "ThreadRole", "LWP", "Behavior"]
+
+#: The generator type applications provide for each thread.
+Behavior = Generator[Directive, object, None]
+
+
+class ThreadState(enum.Enum):
+    """Subset of Linux task states as shown in /proc."""
+
+    RUNNING = "R"  # running or runnable
+    SLEEPING = "S"  # interruptible sleep
+    DISK = "D"  # uninterruptible sleep
+    STOPPED = "T"
+    ZOMBIE = "Z"
+    DEAD = "X"
+
+
+class ThreadRole(enum.Enum):
+    """Thread classification used in ZeroSum's LWP report."""
+
+    MAIN = "Main"
+    ZEROSUM = "ZeroSum"
+    OPENMP = "OpenMP"
+    GPU = "GPU"
+    MPI = "MPI"
+    OTHER = "Other"
+
+
+_ROLE_ORDER = [
+    ThreadRole.MAIN,
+    ThreadRole.ZEROSUM,
+    ThreadRole.OPENMP,
+    ThreadRole.GPU,
+    ThreadRole.MPI,
+    ThreadRole.OTHER,
+]
+
+
+class LWP:
+    """One simulated thread."""
+
+    def __init__(
+        self,
+        tid: int,
+        process: "SimProcess",
+        behavior: Behavior,
+        name: str = "",
+        affinity: Optional[CpuSet] = None,
+        roles: Optional[set[ThreadRole]] = None,
+        daemon: bool = False,
+        start_tick: int = 0,
+    ):
+        self.tid = tid
+        self.process = process
+        self.behavior = behavior
+        self.name = name or f"lwp-{tid}"
+        #: allowed CPUs; defaults to the owning process's cpuset
+        self.affinity: CpuSet = affinity if affinity is not None else process.cpuset
+        self.roles: set[ThreadRole] = roles or {ThreadRole.OTHER}
+        #: daemon threads (monitors, helpers) do not keep the sim alive
+        self.daemon = daemon
+        self.start_tick = start_tick
+        self.exit_tick: Optional[int] = None
+
+        # -- scheduling state --
+        self.state = ThreadState.RUNNING  # runnable
+        self.cur_cpu: Optional[int] = None  # runqueue assignment
+        self.last_cpu: int = self.affinity.first() if self.affinity else 0
+        self.current_directive: Optional[Directive] = None
+        self.slice_left: int = 0
+        self.pending_send: object = None  # value to send() into behavior
+        self.wake_tick: Optional[int] = None  # timer deadline while sleeping
+
+        # -- accounting (float jiffies; floored at the procfs boundary) --
+        self.utime: float = 0.0
+        self.stime: float = 0.0
+        self.vcsw: int = 0  # voluntary context switches
+        self.nvcsw: int = 0  # non-voluntary context switches
+        self.minflt: int = 0
+        self.majflt: int = 0
+        self.migrations: int = 0
+        #: per-CPU jiffy histogram (for contention analysis)
+        self.cpu_jiffies: dict[int, float] = {}
+
+    # -- classification ---------------------------------------------------
+    def role_label(self) -> str:
+        """Report label like ``"Main, OpenMP"`` (Listing 2 order)."""
+        names = [r.value for r in _ROLE_ORDER if r in self.roles]
+        return ", ".join(names) if names else ThreadRole.OTHER.value
+
+    def add_role(self, role: ThreadRole) -> None:
+        """Tag the thread (clears the default Other role)."""
+        self.roles.add(role)
+        if role is not ThreadRole.OTHER:
+            self.roles.discard(ThreadRole.OTHER)
+
+    # -- state helpers ----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ThreadState.ZOMBIE, ThreadState.DEAD)
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ThreadState.RUNNING
+
+    @property
+    def blocked(self) -> bool:
+        return self.state in (ThreadState.SLEEPING, ThreadState.DISK)
+
+    def charge(self, cpu: int, jiffies: float, user_frac: float) -> None:
+        """Account one executed slice on ``cpu``."""
+        if cpu != self.last_cpu:
+            self.migrations += 1
+        self.utime += jiffies * user_frac
+        self.stime += jiffies * (1.0 - user_frac)
+        self.last_cpu = cpu
+        self.cpu_jiffies[cpu] = self.cpu_jiffies.get(cpu, 0.0) + jiffies
+
+    @property
+    def total_jiffies(self) -> float:
+        return self.utime + self.stime
+
+    def distinct_cpus_used(self) -> CpuSet:
+        """CPUs this thread actually executed on (migration evidence)."""
+        return CpuSet(self.cpu_jiffies)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LWP {self.tid} {self.role_label()} state={self.state.value} "
+            f"cpu={self.last_cpu} affinity={self.affinity.to_list()!r}>"
+        )

@@ -1,0 +1,84 @@
+"""Node-level memory accounting behind /proc/meminfo.
+
+Tracks total/used memory across all simulated processes plus a
+configurable "system noise" resident set (other tenants, OS caches) so
+the OOM experiments can distinguish "my processes ate the node" from
+"somebody else did" — exactly the question §3.5 says ZeroSum answers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError
+from repro.units import KIB
+
+__all__ = ["MemoryAccounting"]
+
+
+class MemoryAccounting:
+    """MemTotal/MemFree bookkeeping for one node."""
+
+    def __init__(self, total_bytes: int, system_bytes: int | None = None):
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.total_bytes = total_bytes
+        #: memory held by the OS and other system processes
+        #: (non-reclaimable: a noisy neighbour grows this)
+        self.system_bytes = (
+            system_bytes if system_bytes is not None else total_bytes // 64
+        )
+        #: reclaimable page cache (counts toward MemAvailable)
+        self.cached_bytes = 0
+        #: memory held by simulated user processes
+        self.user_bytes = 0
+        self.swap_total_bytes = 0
+        self.swap_used_bytes = 0
+        self.oom_events: list[tuple[int, int]] = []  # (tick, pid)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.system_bytes + self.cached_bytes + self.user_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.total_bytes - self.used_bytes)
+
+    @property
+    def available_bytes(self) -> int:
+        # available = free + reclaimable page cache, like the kernel's
+        # MemAvailable estimate; a noisy neighbour's system memory is
+        # NOT reclaimable and therefore genuinely reduces availability
+        return min(self.total_bytes, self.free_bytes + self.cached_bytes)
+
+    def charge(self, nbytes: int) -> None:
+        """Charge a user allocation; raises OutOfMemoryError if impossible."""
+        if nbytes < 0:
+            raise ValueError("charge must be >= 0")
+        if self.used_bytes + nbytes > self.total_bytes:
+            raise OutOfMemoryError(
+                f"allocation of {nbytes} bytes exceeds free memory "
+                f"({self.free_bytes} bytes free of {self.total_bytes})"
+            )
+        self.user_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return user memory (clamped at zero)."""
+        if nbytes < 0:
+            raise ValueError("release must be >= 0")
+        self.user_bytes = max(0, self.user_bytes - nbytes)
+
+    def grow_system(self, nbytes: int) -> None:
+        """Simulate another tenant / the OS consuming memory."""
+        self.system_bytes = max(0, self.system_bytes + nbytes)
+
+    # -- meminfo fields in KiB --------------------------------------------
+    def meminfo_kib(self) -> dict[str, int]:
+        """The /proc/meminfo fields, in KiB."""
+        return {
+            "MemTotal": self.total_bytes // KIB,
+            "MemFree": self.free_bytes // KIB,
+            "MemAvailable": self.available_bytes // KIB,
+            "Buffers": 0,
+            "Cached": self.cached_bytes // KIB,
+            "SwapTotal": self.swap_total_bytes // KIB,
+            "SwapFree": (self.swap_total_bytes - self.swap_used_bytes) // KIB,
+        }

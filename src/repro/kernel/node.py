@@ -1,0 +1,78 @@
+"""A simulated compute node: topology + scheduler state + devices.
+
+The node instantiates one :class:`HWTState` per PU of its topology and
+one simulated GPU device per :class:`~repro.topology.objects.GpuInfo`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.kernel.hwt import HWTState
+from repro.kernel.io import IoSubsystem
+from repro.kernel.memory import MemoryAccounting
+from repro.topology.objects import Machine
+
+if TYPE_CHECKING:
+    from repro.gpu.device import GpuDevice
+    from repro.kernel.process import SimProcess
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One node participating in a simulation."""
+
+    def __init__(self, machine: Machine, node_index: int = 0):
+        from repro.gpu.device import GpuDevice  # local import, avoids cycle
+
+        self.machine = machine
+        self.node_index = node_index
+        self.hostname = machine.name
+        self.hwts: dict[int, HWTState] = {
+            cpu: HWTState(cpu) for cpu in machine.cpuset()
+        }
+        self.memory = MemoryAccounting(machine.memory_bytes)
+        #: SMT sibling lanes per CPU (excluding the CPU itself)
+        self.smt_siblings: dict[int, tuple[int, ...]] = {}
+        for core in machine.cores():
+            lanes = tuple(core.cpuset())
+            for cpu in lanes:
+                self.smt_siblings[cpu] = tuple(c for c in lanes if c != cpu)
+        self.gpus: list[GpuDevice] = [GpuDevice(info) for info in machine.gpus]
+        self.io = IoSubsystem()
+        self.processes: dict[int, "SimProcess"] = {}
+
+    def hwt(self, os_index: int) -> HWTState:
+        """Scheduler state for one CPU."""
+        try:
+            return self.hwts[os_index]
+        except KeyError:
+            raise SchedulerError(
+                f"node {self.hostname} has no CPU {os_index}"
+            ) from None
+
+    def gpu(self, physical_index: int) -> "GpuDevice":
+        """Device by hardware index."""
+        for dev in self.gpus:
+            if dev.info.physical_index == physical_index:
+                return dev
+        raise SchedulerError(
+            f"node {self.hostname} has no GPU {physical_index}"
+        )
+
+    def visible_gpu(self, visible_index: int) -> "GpuDevice":
+        """Look up by runtime (HIP/CUDA) enumeration index."""
+        for dev in self.gpus:
+            if dev.info.visible_index == visible_index:
+                return dev
+        raise SchedulerError(
+            f"node {self.hostname} has no visible GPU {visible_index}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimNode {self.hostname} cpus={len(self.hwts)} "
+            f"gpus={len(self.gpus)} procs={len(self.processes)}>"
+        )

@@ -1,0 +1,670 @@
+"""The simulated kernel: scheduling, wakeups, timers, memory, devices.
+
+This is the substrate that stands in for the Linux kernel on the HPC
+nodes of the paper.  It runs a discrete-time loop where one tick is one
+jiffy (10 ms); per tick, every hardware thread executes at most one
+runnable LWP, with CFS-like timeslice preemption, wake-up preemption,
+affinity enforcement and periodic idle-balancing.  All the quantities
+ZeroSum observes through ``/proc`` fall out of this loop:
+
+* per-LWP user/system jiffies, voluntary (``ctx``) and non-voluntary
+  (``nv_ctx``) context switches, migrations, page faults;
+* per-HWT user/system/idle jiffies;
+* per-process RSS and node-wide memory.
+
+Determinism: given identical inputs the simulation is bit-identical.
+All stochastic workload behaviour comes from seeded RNGs in the apps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, Optional
+
+from repro.errors import DeadlockError, OutOfMemoryError, SchedulerError
+from repro.kernel.clock import Clock
+from repro.kernel.directives import Alloc, Call, Compute, FileIo, Free, Sleep, Wait, YieldCpu
+from repro.kernel.hwt import HWTState
+from repro.kernel.lwp import LWP, Behavior, ThreadRole, ThreadState
+from repro.kernel.node import SimNode
+from repro.kernel.process import SimProcess
+from repro.topology.cpuset import CpuSet
+from repro.topology.objects import Machine
+
+__all__ = ["SimKernel"]
+
+_EPS = 1e-9
+#: safety bound on instantaneous directives processed per advance
+_MAX_INSTANT = 100_000
+#: safety bound on thread switches per HWT per tick
+_MAX_SWITCHES_PER_TICK = 1000
+
+
+class SimKernel:
+    """Discrete-time kernel simulator over one or more nodes."""
+
+    def __init__(
+        self,
+        nodes: Machine | SimNode | Iterable[Machine | SimNode],
+        timeslice: int = 3,
+        lb_interval: int = 5,
+        first_pid: int = 18300,
+        smt_efficiency: float = 1.0,
+    ):
+        if isinstance(nodes, (Machine, SimNode)):
+            nodes = [nodes]
+        self.nodes: list[SimNode] = [
+            n if isinstance(n, SimNode) else SimNode(n, i)
+            for i, n in enumerate(nodes)
+        ]
+        for i, node in enumerate(self.nodes):
+            node.node_index = i
+        if timeslice < 1:
+            raise SchedulerError("timeslice must be >= 1 tick")
+        if not 0.5 <= smt_efficiency <= 1.0:
+            raise SchedulerError("smt_efficiency must be in [0.5, 1.0]")
+        self.timeslice = timeslice
+        self.lb_interval = lb_interval
+        #: per-lane work throughput when the SMT sibling lane is also
+        #: busy: 1.0 models independent lanes; < 1.0 models the shared
+        #: core pipeline (a thread occupies the lane for a full jiffy
+        #: but retires only ``smt_efficiency`` jiffies of work)
+        self.smt_efficiency = smt_efficiency
+        self.clock = Clock()
+        self.processes: dict[int, SimProcess] = {}
+        self.lwps: dict[int, LWP] = {}
+        self._pid_counter = itertools.count(first_pid)
+        self._seq = itertools.count()
+        # (wake_tick, seq, lwp) min-heap of timed sleeps
+        self._sleepers: list[tuple[int, int, LWP]] = []
+        # (tick, seq, callback) min-heap of timer callbacks (MPI fabric &c.)
+        self._timers: list[tuple[int, int, Callable[["SimKernel"], None]]] = []
+        #: external per-tick observers (monitor bookkeeping, tracing)
+        self.on_tick: list[Callable[["SimKernel"], None]] = []
+        #: (tick, lwp, exception) for every crashed thread
+        self.crashes: list[tuple[int, LWP, BaseException]] = []
+        #: crash observers (ZeroSum's signal-handler backtrace reporter)
+        self.on_crash: list[Callable[["SimKernel", LWP, BaseException], None]] = []
+
+    # ------------------------------------------------------------------
+    # construction: processes and threads
+    # ------------------------------------------------------------------
+    def spawn_process(
+        self,
+        node: SimNode | int,
+        cpuset: CpuSet,
+        main_behavior: Behavior,
+        command: str = "a.out",
+        env: Optional[dict[str, str]] = None,
+        rank: Optional[int] = None,
+        name: str = "main",
+        roles: Optional[set[ThreadRole]] = None,
+    ) -> SimProcess:
+        """Create a process with its main thread (TID == PID)."""
+        if isinstance(node, int):
+            node = self.nodes[node]
+        if not cpuset:
+            raise SchedulerError("process cpuset must not be empty")
+        if not cpuset.issubset(node.machine.cpuset()):
+            raise SchedulerError(
+                f"cpuset {cpuset.to_list()} not contained in node CPUs"
+            )
+        pid = next(self._pid_counter)
+        proc = SimProcess(pid, node, cpuset, command=command, env=env, rank=rank)
+        node.processes[pid] = proc
+        self.processes[pid] = proc
+        main = LWP(
+            tid=pid,
+            process=proc,
+            behavior=main_behavior,
+            name=name,
+            affinity=cpuset,
+            roles=roles or {ThreadRole.MAIN},
+            start_tick=self.clock.tick,
+        )
+        proc.add_thread(main)
+        self.lwps[pid] = main
+        self._place_new(main, parent=None)
+        return proc
+
+    def spawn_thread(
+        self,
+        process: SimProcess,
+        behavior: Behavior,
+        name: str = "",
+        affinity: Optional[CpuSet] = None,
+        roles: Optional[set[ThreadRole]] = None,
+        daemon: bool = False,
+        parent: Optional[LWP] = None,
+    ) -> LWP:
+        """Create an additional thread in an existing process."""
+        if affinity is not None and not affinity:
+            raise SchedulerError("thread affinity must not be empty")
+        tid = next(self._pid_counter)
+        lwp = LWP(
+            tid=tid,
+            process=process,
+            behavior=behavior,
+            name=name,
+            affinity=affinity,
+            roles=roles,
+            daemon=daemon,
+            start_tick=self.clock.tick,
+        )
+        process.add_thread(lwp)
+        self.lwps[tid] = lwp
+        self._place_new(lwp, parent=parent or process.main_thread)
+        return lwp
+
+    def _place_new(self, lwp: LWP, parent: Optional[LWP]) -> None:
+        """Initial runqueue placement: the parent's CPU if allowed, else
+        the first allowed CPU — the idle balancer spreads from there,
+        which is exactly how unbound OpenMP threads end up migrating at
+        least once (Table 2)."""
+        node = lwp.process.node
+        if parent is not None and parent.cur_cpu in lwp.affinity:
+            cpu = parent.cur_cpu
+        else:
+            cpu = lwp.affinity.first()
+        assert cpu is not None
+        lwp.last_cpu = cpu
+        hwt = node.hwt(cpu)
+        hwt.enqueue(lwp)
+        # fork preemption: a fresh thread competes immediately (CFS gives
+        # new tasks minimal vruntime), so it cannot starve behind a
+        # long-running thread with an unexpired slice
+        hwt.preempt_pending = True
+
+    # ------------------------------------------------------------------
+    # wakeups and timers
+    # ------------------------------------------------------------------
+    def wake(self, lwp: LWP, preempt: bool = True) -> None:
+        """Make a blocked LWP runnable again (event fired, message came)."""
+        if not lwp.blocked:
+            return
+        lwp.state = ThreadState.RUNNING
+        lwp.wake_tick = None
+        node = lwp.process.node
+        cpu = self._select_wake_cpu(lwp)
+        hwt = node.hwt(cpu)
+        hwt.enqueue(lwp, front=True)
+        if preempt:
+            hwt.preempt_pending = True
+
+    def _select_wake_cpu(self, lwp: LWP) -> int:
+        """Wake placement: previous CPU if idle, else an idle allowed
+        CPU, else the previous CPU, else least-loaded allowed."""
+        node = lwp.process.node
+        prev = lwp.cur_cpu
+        if prev is not None and prev in lwp.affinity:
+            if node.hwt(prev).nr_running == 0:
+                return prev
+        idle = [c for c in lwp.affinity if node.hwt(c).nr_running == 0]
+        if idle:
+            return idle[0]
+        if prev is not None and prev in lwp.affinity:
+            return prev
+        return min(lwp.affinity, key=lambda c: (node.hwt(c).nr_running, c))
+
+    def set_affinity(self, lwp: LWP, cpuset: CpuSet) -> None:
+        """``sched_setaffinity``: restrict an LWP to a cpuset.
+
+        If the thread currently sits on a now-disallowed CPU it is moved
+        immediately (queued) or preempted off it (running).
+        """
+        if not cpuset:
+            raise SchedulerError("affinity must not be empty")
+        node = lwp.process.node
+        if not cpuset.issubset(node.machine.cpuset()):
+            raise SchedulerError(
+                f"affinity {cpuset.to_list()} not contained in node CPUs"
+            )
+        lwp.affinity = cpuset
+        if lwp.cur_cpu is None or lwp.cur_cpu in cpuset:
+            return
+        old = node.hwt(lwp.cur_cpu)
+        if old.current is lwp:
+            old.current = None
+        else:
+            old.dequeue(lwp)
+        if lwp.runnable:
+            target = min(cpuset, key=lambda c: (node.hwt(c).nr_running, c))
+            node.hwt(target).enqueue(lwp)
+        else:
+            lwp.cur_cpu = cpuset.first()
+
+    def call_at(self, tick: int, fn: Callable[["SimKernel"], None]) -> None:
+        """Schedule a callback at an absolute tick (>= now)."""
+        if tick < self.clock.tick:
+            raise SchedulerError("cannot schedule a timer in the past")
+        heapq.heappush(self._timers, (tick, next(self._seq), fn))
+
+    def call_after(self, ticks: int, fn: Callable[["SimKernel"], None]) -> None:
+        """Schedule a callback a relative number of ticks from now."""
+        self.call_at(self.clock.tick + max(0, ticks), fn)
+
+    # ------------------------------------------------------------------
+    # blocking and exiting
+    # ------------------------------------------------------------------
+    def _current_hwt(self, lwp: LWP) -> Optional[HWTState]:
+        if lwp.cur_cpu is None:
+            return None
+        hwt = lwp.process.node.hwt(lwp.cur_cpu)
+        return hwt if hwt.current is lwp else None
+
+    def _release_cpu(self, lwp: LWP) -> None:
+        hwt = self._current_hwt(lwp)
+        if hwt is not None:
+            hwt.current = None
+
+    def _block_sleep(self, lwp: LWP, ticks: int) -> None:
+        lwp.state = ThreadState.SLEEPING
+        lwp.vcsw += 1
+        lwp.current_directive = None
+        lwp.wake_tick = self.clock.tick + ticks
+        heapq.heappush(self._sleepers, (lwp.wake_tick, next(self._seq), lwp))
+        self._release_cpu(lwp)
+
+    def _block_wait(self, lwp: LWP, directive: Wait) -> None:
+        lwp.state = (
+            ThreadState.DISK if directive.state == "D" else ThreadState.SLEEPING
+        )
+        lwp.vcsw += 1
+        lwp.current_directive = None
+        directive.obj.add_waiter(lwp)
+        self._release_cpu(lwp)
+
+    def _block_io(self, lwp: LWP, directive: FileIo) -> None:
+        """Issue a filesystem transfer and sleep uninterruptibly."""
+        from repro.kernel.io import IoRequest
+
+        node = lwp.process.node
+        request = IoRequest(
+            nbytes=directive.nbytes, write=directive.write, lwp=lwp
+        )
+        lwp.process.write_syscalls += 1 if directive.write else 0
+        lwp.process.read_syscalls += 0 if directive.write else 1
+        done = node.io.submit(self, request)
+        lwp.state = ThreadState.DISK
+        lwp.vcsw += 1
+        lwp.current_directive = None
+        done.add_waiter(lwp)
+        self._release_cpu(lwp)
+
+    def _exit_lwp(self, lwp: LWP) -> None:
+        lwp.state = ThreadState.DEAD
+        lwp.exit_tick = self.clock.tick
+        lwp.current_directive = None
+        self._release_cpu(lwp)
+        proc = lwp.process
+        # exit(2) semantics: once every non-daemon thread has returned,
+        # the process is done — surviving daemon threads (monitors,
+        # parked OpenMP workers, MPI helpers) die with it
+        if proc.exit_code is None and not any(
+            t.alive and not t.daemon for t in proc.threads.values()
+        ):
+            proc.exit_code = 0
+            for t in proc.threads.values():
+                if t.alive:
+                    self._kill_thread(t)
+            self._reap_process(proc)
+
+    def _reap_process(self, proc: SimProcess) -> None:
+        """Reclaim a dead process's resident memory, like exit(2)."""
+        if proc.rss_bytes > 0:
+            proc.node.memory.release(proc.rss_bytes)
+            proc.rss_bytes = 0
+
+    def _kill_thread(self, lwp: LWP) -> None:
+        """Mark a thread dead and scrub it from all scheduler structures."""
+        lwp.state = ThreadState.DEAD
+        lwp.exit_tick = self.clock.tick
+        lwp.current_directive = None
+        self._release_cpu(lwp)
+        if lwp.cur_cpu is not None:
+            lwp.process.node.hwt(lwp.cur_cpu).dequeue(lwp)
+
+    def kill_process(self, proc: SimProcess, exit_code: int = 124) -> None:
+        """Forcibly terminate a process (SIGKILL analogue) — used by the
+        §3.3 deadlock mitigation "terminate the application to prevent
+        wasting of allocation resources"."""
+        if proc.exit_code is None:
+            proc.exit_code = exit_code
+        for t in proc.threads.values():
+            if t.alive:
+                self._kill_thread(t)
+        self._reap_process(proc)
+
+    def _crash_lwp(self, lwp: LWP, exc: BaseException) -> None:
+        """An exception escaped an app behavior: the simulated analogue
+        of SIGSEGV/abort.  The whole process dies abnormally; registered
+        crash observers (ZeroSum's backtrace handler) are notified."""
+        self.crashes.append((self.clock.tick, lwp, exc))
+        proc = lwp.process
+        proc.exit_code = 139
+        for t in proc.threads.values():
+            if t.alive:
+                self._kill_thread(t)
+        self._reap_process(proc)
+        for fn in self.on_crash:
+            fn(self, lwp, exc)
+
+    # ------------------------------------------------------------------
+    # generator advancement
+    # ------------------------------------------------------------------
+    def _advance(self, lwp: LWP, send_value: object = None) -> None:
+        """Drive the behavior generator to its next time-consuming point.
+
+        Instantaneous directives (Alloc/Free/Call, zero-length computes,
+        already-satisfied waits) are executed inline; the loop ends when
+        the LWP has a Compute scheduled, blocked, yielded, or exited.
+        """
+        pending_exc: Optional[BaseException] = None
+        for _ in range(_MAX_INSTANT):
+            try:
+                if pending_exc is not None:
+                    # deliver a failed Call like a failing syscall: the
+                    # behavior may catch it (e.g. an MpiError) or die
+                    directive = lwp.behavior.throw(pending_exc)
+                    pending_exc = None
+                else:
+                    directive = lwp.behavior.send(send_value)
+            except StopIteration:
+                self._exit_lwp(lwp)
+                return
+            except SchedulerError:
+                raise
+            except Exception as exc:  # a simulated segfault / abort
+                self._crash_lwp(lwp, exc)
+                return
+            send_value = None
+            if isinstance(directive, Compute):
+                if directive.remaining <= _EPS:
+                    continue
+                lwp.current_directive = directive
+                return
+            if isinstance(directive, Sleep):
+                if directive.ticks <= 0:
+                    continue
+                self._block_sleep(lwp, directive.ticks)
+                return
+            if isinstance(directive, Wait):
+                if directive.obj.ready(lwp):
+                    continue
+                self._block_wait(lwp, directive)
+                return
+            if isinstance(directive, FileIo):
+                self._block_io(lwp, directive)
+                return
+            if isinstance(directive, YieldCpu):
+                lwp.vcsw += 1
+                lwp.current_directive = None
+                hwt = self._current_hwt(lwp)
+                if hwt is not None:
+                    hwt.current = None
+                    hwt.enqueue(lwp)
+                return
+            if isinstance(directive, Alloc):
+                try:
+                    self._do_alloc(lwp, directive.nbytes)
+                except OutOfMemoryError:
+                    # OOM-killed: every thread of the process is gone
+                    self._kill_thread(lwp)
+                    self._reap_process(lwp.process)
+                    return
+                continue
+            if isinstance(directive, Free):
+                lwp.process.free(directive.nbytes)
+                lwp.process.node.memory.release(directive.nbytes)
+                continue
+            if isinstance(directive, Call):
+                try:
+                    result = directive.fn(self, lwp)
+                except SchedulerError:
+                    raise
+                except Exception as exc:
+                    pending_exc = exc
+                    continue
+                directive.result = result
+                send_value = result
+                continue
+            raise SchedulerError(f"unknown directive {directive!r}")
+        raise SchedulerError(
+            f"LWP {lwp.tid} executed {_MAX_INSTANT} instantaneous directives "
+            "without consuming time (runaway behavior?)"
+        )
+
+    def _do_alloc(self, lwp: LWP, nbytes: int) -> None:
+        node = lwp.process.node
+        try:
+            node.memory.charge(nbytes)
+        except OutOfMemoryError:
+            node.memory.oom_events.append((self.clock.tick, lwp.process.pid))
+            lwp.process.oom_killed = True
+            lwp.process.exit_code = 137
+            for t in lwp.process.threads.values():
+                if t.alive and t is not lwp:
+                    self._kill_thread(t)
+            raise
+        lwp.minflt += lwp.process.allocate(nbytes)
+
+    # ------------------------------------------------------------------
+    # the per-tick loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole simulation by one tick (one jiffy)."""
+        now = self.clock.tick
+
+        # 1. timer callbacks (message deliveries, injected events)
+        while self._timers and self._timers[0][0] <= now:
+            _, _, fn = heapq.heappop(self._timers)
+            fn(self)
+
+        # 2. timed sleeper wakeups
+        while self._sleepers and self._sleepers[0][0] <= now:
+            _, _, lwp = heapq.heappop(self._sleepers)
+            if lwp.state is ThreadState.SLEEPING and lwp.wake_tick is not None \
+                    and lwp.wake_tick <= now:
+                self.wake(lwp)
+
+        # 3. device + filesystem progress (completions wake waiters)
+        for node in self.nodes:
+            for dev in node.gpus:
+                dev.tick(self)
+            node.io.tick(self)
+
+        # 4. CPU scheduling (fully idle CPUs are skipped; their idle
+        # time is derived, see HWTState.idle_at)
+        track_smt = self.smt_efficiency < 1.0
+        for node in self.nodes:
+            for hwt in node.hwts.values():
+                if hwt.current is None and not hwt.runqueue:
+                    if track_smt and hwt.busy_prev:
+                        hwt.busy_prev = False
+                    continue
+                self._schedule_hwt(node, hwt)
+                if track_smt:
+                    hwt.busy_prev = hwt.current is not None
+
+        # 5. iowait: a CPU whose last occupant is blocked on I/O and
+        # which sits otherwise empty accrues iowait instead of idle
+        for node in self.nodes:
+            if not node.io.inflight:
+                continue
+            for cpu in node.io.waiting_cpus():
+                hwt = node.hwts.get(cpu)
+                if hwt is not None and hwt.current is None and not hwt.runqueue:
+                    hwt.iowait += 1.0
+
+        # 6. external observers
+        for hook in self.on_tick:
+            hook(self)
+
+        self.clock.advance()
+
+        # 7. periodic idle balancing
+        if self.lb_interval > 0 and self.clock.tick % self.lb_interval == 0:
+            self._balance()
+
+    def _schedule_hwt(self, node: SimNode, hwt: HWTState) -> None:
+        # preemption decision at the tick boundary; the wake/fork preempt
+        # flag stays armed until it actually preempts someone (or the
+        # queue drains), so a fresh waker cannot starve behind a long
+        # unexpired timeslice
+        cur = hwt.current
+        if cur is not None and hwt.runqueue and (
+            cur.slice_left <= 0 or hwt.preempt_pending
+        ):
+            cur.nvcsw += 1
+            hwt.current = None
+            hwt.enqueue(cur)
+            hwt.preempt_pending = False
+        elif not hwt.runqueue:
+            hwt.preempt_pending = False
+
+        budget = 1.0
+        for _ in range(_MAX_SWITCHES_PER_TICK):
+            cur = hwt.current
+            if cur is None:
+                if not hwt.runqueue:
+                    return  # remaining budget counts as (derived) idle
+                cur = hwt.runqueue.popleft()
+                if not cur.runnable:  # killed while queued
+                    continue
+                hwt.current = cur
+                cur.cur_cpu = hwt.os_index
+                cur.slice_left = self.timeslice
+            if cur.current_directive is None:
+                self._advance(cur)
+                if hwt.current is not cur:
+                    continue  # blocked / exited / yielded: pick next now
+            directive = cur.current_directive
+            assert isinstance(directive, Compute)
+            # SMT throughput: occupying a lane whose sibling lane was
+            # busy last tick retires less work per wall jiffy
+            rate = 1.0
+            if self.smt_efficiency < 1.0:
+                siblings = node.smt_siblings.get(hwt.os_index, ())
+                if any(node.hwts[s].busy_prev for s in siblings):
+                    rate = self.smt_efficiency
+            use = min(budget, directive.remaining / rate)
+            cur.charge(hwt.os_index, use, directive.user_frac)
+            hwt.user += use * directive.user_frac
+            hwt.system += use * (1.0 - directive.user_frac)
+            directive.remaining -= use * rate
+            budget -= use
+            if directive.remaining <= _EPS:
+                cur.current_directive = None
+                if budget <= _EPS:
+                    # the compute ended exactly at the tick boundary:
+                    # let the thread block/exit now rather than billing
+                    # it an extra tick next round
+                    self._advance(cur)
+            if budget <= _EPS:
+                if hwt.current is cur:
+                    cur.slice_left -= 1
+                return
+        raise SchedulerError(
+            f"CPU {hwt.os_index} switched threads {_MAX_SWITCHES_PER_TICK} "
+            "times in one tick"
+        )
+
+    def _balance(self) -> None:
+        """Idle balancing: each idle CPU steals one queued thread whose
+        affinity allows it, from the most loaded CPU on the same node."""
+        for node in self.nodes:
+            idle_cpus = [h for h in node.hwts.values() if h.nr_running == 0]
+            if not idle_cpus:
+                continue
+            for idle in idle_cpus:
+                donor_order = sorted(
+                    (h for h in node.hwts.values() if len(h.runqueue) > 0),
+                    key=lambda h: -h.nr_running,
+                )
+                stolen = None
+                for donor in donor_order:
+                    if donor.nr_running <= 1:
+                        break
+                    for cand in reversed(donor.runqueue):
+                        if idle.os_index in cand.affinity:
+                            stolen = cand
+                            donor.dequeue(cand)
+                            break
+                    if stolen is not None:
+                        break
+                if stolen is not None:
+                    idle.enqueue(stolen)
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+    def alive_work(self) -> bool:
+        """True while any non-daemon LWP is alive."""
+        return any(l.alive for l in self.lwps.values() if not l.daemon)
+
+    def has_runnable(self) -> bool:
+        """True if any live LWP is currently runnable."""
+        return any(l.runnable for l in self.lwps.values() if l.alive)
+
+    def stalled(self) -> bool:
+        """True if nothing can ever make progress again: non-daemon work
+        remains but no LWP is runnable and no timer/sleeper/device event
+        is pending."""
+        if not self.alive_work():
+            return False
+        if self.has_runnable():
+            return False
+        if self._sleepers or self._timers:
+            return False
+        if any(dev.pending_kernels for node in self.nodes for dev in node.gpus):
+            return False
+        if any(node.io.inflight for node in self.nodes):
+            return False
+        return True
+
+    def run(
+        self,
+        max_ticks: int = 10_000_000,
+        until: Optional[Callable[["SimKernel"], bool]] = None,
+        raise_on_stall: bool = True,
+    ) -> int:
+        """Run until all non-daemon work finished (or ``until`` fires).
+
+        Returns the number of ticks executed.  Raises
+        :class:`~repro.errors.DeadlockError` on a true stall unless
+        ``raise_on_stall`` is false (the heartbeat experiments disable
+        it and let the ZeroSum monitor make the diagnosis).
+        """
+        start = self.clock.tick
+        while self.clock.tick - start < max_ticks:
+            if not self.alive_work():
+                break
+            if until is not None and until(self):
+                break
+            if self.stalled():
+                if raise_on_stall:
+                    blocked = [l.tid for l in self.lwps.values()
+                               if l.alive and l.blocked and not l.daemon]
+                    raise DeadlockError(
+                        f"simulation stalled at tick {self.clock.tick}; "
+                        f"blocked LWPs: {blocked}"
+                    )
+                break
+            self.step()
+        return self.clock.tick - start
+
+    # -- conveniences -----------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self.clock.tick
+
+    def node_of(self, pid: int) -> SimNode:
+        """The node a process lives on."""
+        return self.processes[pid].node
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimKernel t={self.clock.seconds:.2f}s nodes={len(self.nodes)} "
+            f"procs={len(self.processes)} lwps={len(self.lwps)}>"
+        )

@@ -1,0 +1,15 @@
+"""Job launcher (srun substitute): options, assignment, orchestration."""
+
+from repro.launch.job import AppFactory, JobStep, RankContext, launch_job
+from repro.launch.options import SrunOptions
+from repro.launch.slurm import TaskAssignment, assign_tasks
+
+__all__ = [
+    "SrunOptions",
+    "TaskAssignment",
+    "assign_tasks",
+    "RankContext",
+    "JobStep",
+    "AppFactory",
+    "launch_job",
+]

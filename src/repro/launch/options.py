@@ -1,0 +1,103 @@
+"""``srun``-style job step options.
+
+Models the subset of Slurm launch controls the paper's evaluation
+exercises:
+
+* ``-n`` / ``ntasks`` — number of MPI ranks;
+* ``-c`` / ``cpus_per_task`` — CPUs allocated per rank (the difference
+  between Table 1 and Table 2);
+* ``--gpus-per-task`` and ``--gpu-bind=closest`` — GPU count and
+  locality binding (Listing 2);
+* ``--threads-per-core`` — SMT exposure (the Figure 8 overhead study
+  uses 1 and 2);
+* environment forwarding (``OMP_*`` variables, Table 3).
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+
+from repro.errors import LaunchError
+
+__all__ = ["SrunOptions"]
+
+
+@dataclass
+class SrunOptions:
+    """Parsed job-step launch options."""
+
+    ntasks: int = 1
+    cpus_per_task: int = 1
+    gpus_per_task: int = 0
+    gpu_bind: str = "none"  # "none" | "closest"
+    threads_per_core: int = 1
+    env: dict[str, str] = field(default_factory=dict)
+    command: str = "a.out"
+
+    def __post_init__(self) -> None:
+        if self.ntasks < 1:
+            raise LaunchError("ntasks must be >= 1")
+        if self.cpus_per_task < 1:
+            raise LaunchError("cpus_per_task must be >= 1")
+        if self.gpus_per_task < 0:
+            raise LaunchError("gpus_per_task must be >= 0")
+        if self.gpu_bind not in ("none", "closest"):
+            raise LaunchError(f"unsupported gpu_bind {self.gpu_bind!r}")
+        if self.threads_per_core not in (1, 2, 4):
+            raise LaunchError("threads_per_core must be 1, 2 or 4")
+
+    @classmethod
+    def parse(cls, command_line: str) -> "SrunOptions":
+        """Parse an ``srun ...`` command line like the paper quotes.
+
+        Supports ``VAR=value`` prefixes, ``-nN``/``-n N``, ``-cN``/``-c N``,
+        ``--gpus-per-task=N``, ``--gpu-bind=closest``,
+        ``--threads-per-core=N``; the first non-option token is the
+        command (the ``zerosum-mpi`` wrapper is recognized and skipped
+        by callers, not here).
+        """
+        tokens = shlex.split(command_line)
+        env: dict[str, str] = {}
+        # leading VAR=value assignments
+        while tokens and re.match(r"^[A-Za-z_][A-Za-z0-9_]*=", tokens[0]):
+            key, _, value = tokens.pop(0).partition("=")
+            env[key] = value
+        if tokens and tokens[0] == "srun":
+            tokens.pop(0)
+        kwargs: dict = {"env": env}
+        rest: list[str] = []
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if m := re.match(r"^-n(\d+)?$", tok):
+                if m.group(1):
+                    kwargs["ntasks"] = int(m.group(1))
+                else:
+                    i += 1
+                    kwargs["ntasks"] = int(tokens[i])
+            elif m := re.match(r"^-c(\d+)?$", tok):
+                if m.group(1):
+                    kwargs["cpus_per_task"] = int(m.group(1))
+                else:
+                    i += 1
+                    kwargs["cpus_per_task"] = int(tokens[i])
+            elif m := re.match(r"^--ntasks=(\d+)$", tok):
+                kwargs["ntasks"] = int(m.group(1))
+            elif m := re.match(r"^--cpus-per-task=(\d+)$", tok):
+                kwargs["cpus_per_task"] = int(m.group(1))
+            elif m := re.match(r"^--gpus-per-task=(\d+)$", tok):
+                kwargs["gpus_per_task"] = int(m.group(1))
+            elif m := re.match(r"^--gpu-bind=(\w+)$", tok):
+                kwargs["gpu_bind"] = m.group(1)
+            elif m := re.match(r"^--threads-per-core=(\d+)$", tok):
+                kwargs["threads_per_core"] = int(m.group(1))
+            elif tok.startswith("-"):
+                raise LaunchError(f"unsupported srun option {tok!r}")
+            else:
+                rest.append(tok)
+            i += 1
+        if rest:
+            kwargs["command"] = " ".join(rest)
+        return cls(**kwargs)

@@ -1,0 +1,119 @@
+"""Slurm-like resource assignment: ranks → cpusets and GPUs.
+
+Implements block distribution over cores in OS order, skipping cores
+the machine reserves for system processes (Frontier's low-noise mode
+reserves the first core of each L3 region, which is why the default
+8-rank launch in §4 lands rank 0 on core **1**, not core 0).
+
+``--threads-per-core=1`` exposes only the first SMT thread of each
+allocated core; 2 exposes both (the second HWT of core *c* on Frontier
+is ``c + 64``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.launch.options import SrunOptions
+from repro.topology.cpuset import CpuSet
+from repro.topology.distance import closest_gpu
+from repro.topology.objects import Machine
+
+__all__ = ["TaskAssignment", "assign_tasks"]
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """Resources granted to one MPI rank."""
+
+    rank: int
+    node_index: int
+    cpuset: CpuSet
+    gpu_physical: tuple[int, ...] = ()
+
+
+def _usable_cores(machine: Machine) -> list:
+    """Allocatable cores in OS order (reserved system cores skipped)."""
+    reserved = machine.reserved_cpus
+    cores = []
+    for core in machine.cores():
+        if core.cpuset().overlaps(reserved):
+            continue
+        cores.append(core)
+    return cores
+
+
+def _core_pus(core, threads_per_core: int) -> CpuSet:
+    pus = sorted(core.cpuset())
+    return CpuSet(pus[:threads_per_core])
+
+
+def assign_tasks(
+    machines: list[Machine], options: SrunOptions
+) -> list[TaskAssignment]:
+    """Block-distribute ``ntasks`` over the given nodes."""
+    if not machines:
+        raise LaunchError("no nodes to launch on")
+    assignments: list[TaskAssignment] = []
+    rank = 0
+    node_cores = [_usable_cores(m) for m in machines]
+    cursors = [0] * len(machines)
+    node_gpu_used: list[set[int]] = [set() for _ in machines]
+
+    for node_index, machine in enumerate(machines):
+        cores = node_cores[node_index]
+        while rank < options.ntasks:
+            start = cursors[node_index]
+            end = start + options.cpus_per_task
+            if end > len(cores):
+                break  # node full; spill to the next node
+            chosen = cores[start:end]
+            cursors[node_index] = end
+            cpuset = CpuSet()
+            for core in chosen:
+                cpuset = cpuset | _core_pus(core, options.threads_per_core)
+            gpus: tuple[int, ...] = ()
+            if options.gpus_per_task > 0:
+                if not machine.gpus:
+                    raise LaunchError(
+                        f"node {machine.name} has no GPUs but "
+                        f"--gpus-per-task={options.gpus_per_task}"
+                    )
+                picked = []
+                for _ in range(options.gpus_per_task):
+                    if len(node_gpu_used[node_index]) >= len(machine.gpus):
+                        raise LaunchError(
+                            f"not enough GPUs on {machine.name} for "
+                            f"{options.ntasks} tasks x {options.gpus_per_task}"
+                        )
+                    if options.gpu_bind == "closest":
+                        gpu = closest_gpu(
+                            machine, cpuset, exclude=node_gpu_used[node_index]
+                        )
+                    else:
+                        free = [
+                            g
+                            for g in machine.gpus
+                            if g.physical_index not in node_gpu_used[node_index]
+                        ]
+                        gpu = free[0]
+                    node_gpu_used[node_index].add(gpu.physical_index)
+                    picked.append(gpu.physical_index)
+                gpus = tuple(picked)
+            assignments.append(
+                TaskAssignment(
+                    rank=rank, node_index=node_index, cpuset=cpuset, gpu_physical=gpus
+                )
+            )
+            rank += 1
+        if rank >= options.ntasks:
+            break
+
+    if rank < options.ntasks:
+        total_cores = sum(len(c) for c in node_cores)
+        raise LaunchError(
+            f"cannot place {options.ntasks} tasks x {options.cpus_per_task} "
+            f"cores on {len(machines)} node(s) with {total_cores} usable cores"
+        )
+    return assignments

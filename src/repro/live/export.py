@@ -1,0 +1,57 @@
+"""Log export for the live (real /proc) monitor.
+
+Mirrors :func:`repro.core.export.write_log` for
+:class:`~repro.live.monitor.LiveZeroSum`: startup banner, the
+Listing 2-style report, and the raw CSV time series, written through
+the same pluggable sink interface.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.export import ExportSink
+from repro.live.monitor import LiveZeroSum
+
+__all__ = ["write_live_log"]
+
+
+def _csv_sections(monitor: LiveZeroSum) -> list[tuple[str, str]]:
+    sections: list[tuple[str, str]] = []
+
+    out = io.StringIO()
+    first = True
+    for tid in sorted(monitor.lwp_series):
+        text = monitor.lwp_series[tid].to_csv(prefix_cols={"tid": tid})
+        out.write(text if first else text.split("\n", 1)[1])
+        first = False
+    sections.append(("LWP samples (CSV)", out.getvalue()))
+
+    out = io.StringIO()
+    first = True
+    for cpu in sorted(monitor.hwt_series):
+        text = monitor.hwt_series[cpu].to_csv(prefix_cols={"cpu": cpu})
+        out.write(text if first else text.split("\n", 1)[1])
+        first = False
+    if not first:
+        sections.append(("HWT samples (CSV)", out.getvalue()))
+
+    if len(monitor.mem_series):
+        sections.append(("memory samples (CSV)", monitor.mem_series.to_csv()))
+    return sections
+
+
+def write_live_log(monitor: LiveZeroSum, sink: ExportSink) -> str:
+    """Write the live monitor's log; returns the document name."""
+    name = f"zerosum.live.{monitor.pid}.log"
+    parts = [
+        f"ZeroSum (live) attached to PID {monitor.pid} on {monitor.hostname}",
+        f"CPUs allowed: [{monitor.cpus_allowed.to_list()}]",
+        "",
+        monitor.report().render(),
+    ]
+    for title, content in _csv_sections(monitor):
+        parts.append(f"== {title} ==")
+        parts.append(content)
+    sink.write(name, "\n".join(parts))
+    return name

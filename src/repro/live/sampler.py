@@ -1,0 +1,69 @@
+"""Real-/proc readers: the same parsers, pointed at the host kernel.
+
+These functions implement the collector side of ZeroSum against a live
+Linux ``/proc`` — proving the parsers and report pipeline are not
+simulation-bound.  They are used by :class:`repro.live.LiveZeroSum`
+and by the test suite (which runs on a Linux container).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ProcFSError
+from repro.procfs.parsers import (
+    CpuTimes,
+    TaskStat,
+    TaskStatus,
+    parse_meminfo,
+    parse_pid_stat,
+    parse_pid_status,
+    parse_proc_stat,
+)
+
+__all__ = [
+    "list_tasks",
+    "read_task",
+    "read_cpu_times",
+    "read_meminfo",
+    "read_uptime_seconds",
+]
+
+
+def list_tasks(pid: int | str = "self", proc_root: str = "/proc") -> list[int]:
+    """TIDs of all live threads of a process."""
+    task_dir = Path(proc_root) / str(pid) / "task"
+    try:
+        return sorted(int(t) for t in os.listdir(task_dir))
+    except FileNotFoundError as exc:
+        raise ProcFSError(f"no such process: {pid}") from exc
+
+
+def read_task(
+    pid: int | str, tid: int, proc_root: str = "/proc"
+) -> tuple[TaskStat, TaskStatus]:
+    """One thread's parsed stat + status."""
+    base = Path(proc_root) / str(pid) / "task" / str(tid)
+    try:
+        stat = parse_pid_stat((base / "stat").read_text())
+        status = parse_pid_status((base / "status").read_text())
+    except FileNotFoundError as exc:
+        raise ProcFSError(f"task {tid} of {pid} vanished") from exc
+    return stat, status
+
+
+def read_cpu_times(proc_root: str = "/proc") -> dict[int, CpuTimes]:
+    """Per-CPU jiffy counters from the host /proc/stat."""
+    return parse_proc_stat((Path(proc_root) / "stat").read_text())
+
+
+def read_meminfo(proc_root: str = "/proc") -> dict[str, int]:
+    """The host /proc/meminfo, in KiB."""
+    return parse_meminfo((Path(proc_root) / "meminfo").read_text())
+
+
+def read_uptime_seconds(proc_root: str = "/proc") -> float:
+    """Host uptime in seconds."""
+    text = (Path(proc_root) / "uptime").read_text()
+    return float(text.split()[0])

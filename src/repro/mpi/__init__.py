@@ -1,0 +1,24 @@
+"""Simulated MPI runtime with mpi4py-style generator API."""
+
+from repro.mpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MpiJob,
+    RankComm,
+    Request,
+    payload_nbytes,
+)
+from repro.mpi.fabric import Fabric, Message
+from repro.mpi.interpose import P2PRecorder
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiJob",
+    "RankComm",
+    "Request",
+    "payload_nbytes",
+    "Fabric",
+    "Message",
+    "P2PRecorder",
+]

@@ -1,0 +1,407 @@
+"""Simulated MPI: communicators, point-to-point, collectives.
+
+The API deliberately mirrors mpi4py's lower-case object interface
+(``send``/``recv``/``isend``/``irecv``/``bcast``/``gather``/...), but
+every call is a *generator* to be driven with ``yield from`` inside an
+LWP behavior, since blocking must be expressed to the simulated kernel.
+
+Point-to-point calls run through an interposition hook list — this is
+the seam ZeroSum's wrapper (§3.1.3) attaches to in order to accumulate
+the bytes-per-rank-pair matrix behind the Figure 5 heatmap.
+Collectives do not pass through the hooks, matching the paper's
+wrapping of only the point-to-point API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.kernel.directives import Call, Compute, Wait
+from repro.kernel.events import Event, WaitObject
+from repro.kernel.lwp import Behavior
+from repro.kernel.process import SimProcess
+from repro.kernel.scheduler import SimKernel
+from repro.mpi.fabric import Fabric, Message
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "RankComm", "MpiJob", "payload_nbytes"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: hook signature: (src_rank, dst_rank, nbytes)
+P2PHook = Callable[[int, int, int], None]
+
+
+def payload_nbytes(payload: object) -> int:
+    """Best-effort wire size of a payload (numpy-aware)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (int, float, complex, bool, type(None))):
+        return 8
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(p) for p in payload) + 8
+    if isinstance(payload, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        ) + 8
+    return 64  # opaque object
+
+
+class _Arrival(WaitObject):
+    """Condition-variable-style wait object for message arrival."""
+
+
+@dataclass
+class Request:
+    """Nonblocking operation handle (mpi4py ``Request``)."""
+
+    kind: str  # "send" | "recv"
+    comm: "RankComm"
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    message: Optional[Message] = None
+    completed: bool = False
+
+    def test(self) -> bool:
+        """Nonblocking completion check (no sim-time cost)."""
+        if self.completed:
+            return True
+        if self.kind == "send":
+            self.completed = True  # eager protocol: buffer reusable at once
+            return True
+        msg = self.comm._match(self.source, self.tag)
+        if msg is not None:
+            self.message = msg
+            self.completed = True
+            return True
+        return False
+
+    def wait(self) -> Behavior:
+        """Generator: block until complete; returns the received payload."""
+        while not self.test():
+            yield Wait(self.comm._arrival)
+        return self.message.payload if self.message is not None else None
+
+
+@dataclass
+class _CollState:
+    """Shared state for one in-flight collective operation."""
+
+    parties: int
+    arrived: int = 0
+    departed: int = 0
+    data: dict[int, object] = field(default_factory=dict)
+    result: object = None
+    event: Event = field(default_factory=lambda: Event("coll"))
+
+
+class MpiJob:
+    """One MPI_COMM_WORLD across simulated processes."""
+
+    def __init__(self, kernel: SimKernel, fabric: Optional[Fabric] = None):
+        self.kernel = kernel
+        self.fabric = fabric or Fabric()
+        self.comms: dict[int, "RankComm"] = {}
+        self._coll_states: dict[tuple[str, int], _CollState] = {}
+        self._seq = itertools.count()
+
+    @property
+    def size(self) -> int:
+        return len(self.comms)
+
+    def add_rank(self, rank: int, process: SimProcess) -> "RankComm":
+        """Bind one process to a world rank."""
+        if rank in self.comms:
+            raise MpiError(f"rank {rank} already registered")
+        comm = RankComm(self, rank, process)
+        self.comms[rank] = comm
+        process.rank = rank
+        return comm
+
+    def finalize_ranks(self) -> None:
+        """Fix the world size on every process (end of MPI_Init)."""
+        for comm in self.comms.values():
+            comm.process.world_size = self.size
+
+    def comm_for(self, rank: int) -> "RankComm":
+        """The communicator handle of a rank."""
+        try:
+            return self.comms[rank]
+        except KeyError:
+            raise MpiError(f"no rank {rank} in communicator") from None
+
+    # -- collective state management ---------------------------------------
+    def coll_state(self, kind: str, seq: int) -> _CollState:
+        """Get-or-create rendezvous state for one collective."""
+        key = (kind, seq)
+        state = self._coll_states.get(key)
+        if state is None:
+            state = _CollState(parties=self.size)
+            self._coll_states[key] = state
+        return state
+
+    def coll_discard(self, kind: str, seq: int) -> None:
+        """Drop completed collective state."""
+        self._coll_states.pop((kind, seq), None)
+
+
+class RankComm:
+    """The communicator handle owned by one rank."""
+
+    #: CPU cost of posting a send/recv, in jiffies (system time heavy)
+    CALL_COST = 0.02
+    CALL_USER_FRAC = 0.1
+
+    def __init__(self, job: MpiJob, rank: int, process: SimProcess):
+        self.job = job
+        self.rank = rank
+        self.process = process
+        self._inbox: list[Message] = []
+        self._arrival = _Arrival(name=f"mpi-arrival-{rank}")
+        self._msg_seq = itertools.count()
+        self._coll_seq: dict[str, itertools.count] = {}
+        #: point-to-point interposition hooks (ZeroSum attaches here)
+        self.p2p_hooks: list[P2PHook] = []
+        # cumulative counters, independent of any tool
+        self.sent_bytes = 0
+        self.recv_bytes = 0
+        self.sent_messages = 0
+        self.recv_messages = 0
+
+    # mpi4py-style queries -------------------------------------------------
+    def Get_rank(self) -> int:
+        """This rank's index in MPI_COMM_WORLD."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """World size."""
+        return self.job.size
+
+    # -- matching ----------------------------------------------------------
+    def _match(self, source: int, tag: int) -> Optional[Message]:
+        for i, msg in enumerate(self._inbox):
+            if source != ANY_SOURCE and msg.src != source:
+                continue
+            if tag != ANY_TAG and msg.tag != tag:
+                continue
+            return self._inbox.pop(i)
+        return None
+
+    def _on_arrival(self, kernel: SimKernel, message: Message) -> None:
+        self._inbox.append(message)
+        self._arrival.wake_all(kernel)
+
+    def pending_messages(self) -> int:
+        """Unmatched messages sitting in the inbox."""
+        return len(self._inbox)
+
+    # -- point-to-point ------------------------------------------------------
+    def send(
+        self,
+        payload: object,
+        dest: int,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Behavior:
+        """Blocking standard-mode send (eager: returns after injection)."""
+        if dest == self.rank:
+            raise MpiError("send to self: use sendrecv or a buffer")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        dst_comm = self.job.comm_for(dest)
+        for hook in self.p2p_hooks:
+            hook(self.rank, dest, size)
+        self.sent_bytes += size
+        self.sent_messages += 1
+        msg = Message(
+            src=self.rank,
+            dst=dest,
+            tag=tag,
+            payload=payload,
+            nbytes=size,
+            seq=next(self._msg_seq),
+        )
+
+        def inject(kernel: SimKernel, lwp: object) -> None:
+            self.job.fabric.deliver(
+                kernel, self.process, dst_comm.process, msg, dst_comm._on_arrival
+            )
+
+        yield Compute(self.CALL_COST, user_frac=self.CALL_USER_FRAC)
+        yield Call(inject)
+
+    def isend(
+        self,
+        payload: object,
+        dest: int,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Behavior:
+        """Nonblocking send; returns a completed-on-test Request."""
+        yield from self.send(payload, dest, tag, nbytes)
+        return Request(kind="send", comm=self)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Behavior:
+        """Blocking receive; returns the payload."""
+        yield Compute(self.CALL_COST, user_frac=self.CALL_USER_FRAC)
+        while True:
+            msg = yield Call(lambda k, l: self._match(source, tag))
+            if msg is not None:
+                assert isinstance(msg, Message)
+                self.recv_bytes += msg.nbytes
+                self.recv_messages += 1
+                return msg.payload
+            yield Wait(self._arrival)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Behavior:
+        """Nonblocking receive returning a Request (drive with wait())."""
+        yield Compute(self.CALL_COST, user_frac=self.CALL_USER_FRAC)
+        return Request(kind="recv", comm=self, source=source, tag=tag)
+
+    def sendrecv(
+        self,
+        payload: object,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[int] = None,
+    ) -> Behavior:
+        """Combined send+recv, deadlock-free like MPI_Sendrecv."""
+        yield from self.send(payload, dest, sendtag, nbytes)
+        result = yield from self.recv(source, recvtag)
+        return result
+
+    def wait(self, request: Request) -> Behavior:
+        """Block until a request completes; returns its payload."""
+        result = yield from request.wait()
+        if request.message is not None:
+            self.recv_bytes += request.message.nbytes
+            self.recv_messages += 1
+        return result
+
+    def waitall(self, requests: list[Request]) -> Behavior:
+        """Complete every request; returns the payloads in order."""
+        results = []
+        for request in requests:
+            result = yield from self.wait(request)
+            results.append(result)
+        return results
+
+    # -- collectives (not interposed, like PMPI collectives) -----------------
+    def _next_coll_seq(self, kind: str) -> int:
+        counter = self._coll_seq.setdefault(kind, itertools.count())
+        return next(counter)
+
+    def _collective(self, kind: str, contribute, finish) -> Behavior:
+        """Shared rendezvous skeleton: all ranks arrive, last computes."""
+        seq = self._next_coll_seq(kind)
+        state = self.job.coll_state(kind, seq)
+        yield Compute(self.CALL_COST, user_frac=self.CALL_USER_FRAC)
+
+        def arrive(kernel: SimKernel, lwp: object) -> object:
+            contribute(state)
+            state.arrived += 1
+            if state.arrived >= state.parties:
+                finish(state)
+                state.event.set(kernel)
+                return True
+            return False
+
+        done = yield Call(arrive)
+        if not done:
+            yield Wait(state.event)
+        result = state.result
+
+        def depart(kernel: SimKernel, lwp: object) -> None:
+            state.departed += 1
+            if state.departed >= state.parties:
+                self.job.coll_discard(kind, seq)
+
+        yield Call(depart)
+        return result
+
+    def barrier(self) -> Behavior:
+        """MPI_Barrier."""
+        yield from self._collective(
+            "barrier", lambda s: None, lambda s: None
+        )
+
+    def bcast(self, payload: object, root: int = 0) -> Behavior:
+        """MPI_Bcast: every rank returns the root's payload."""
+        def contribute(state: _CollState) -> None:
+            if self.rank == root:
+                state.data[root] = payload
+
+        def finish(state: _CollState) -> None:
+            if root not in state.data:
+                raise MpiError(f"bcast root {root} never arrived")
+            state.result = state.data[root]
+
+        result = yield from self._collective("bcast", contribute, finish)
+        return result
+
+    def gather(self, value: object, root: int = 0) -> Behavior:
+        """MPI_Gather: the root returns the value list, others None."""
+        def contribute(state: _CollState) -> None:
+            state.data[self.rank] = value
+
+        def finish(state: _CollState) -> None:
+            state.result = [state.data[r] for r in sorted(state.data)]
+
+        result = yield from self._collective("gather", contribute, finish)
+        return result if self.rank == root else None
+
+    def allgather(self, value: object) -> Behavior:
+        """MPI_Allgather: every rank returns the full value list."""
+        def contribute(state: _CollState) -> None:
+            state.data[self.rank] = value
+
+        def finish(state: _CollState) -> None:
+            state.result = [state.data[r] for r in sorted(state.data)]
+
+        result = yield from self._collective("allgather", contribute, finish)
+        return result
+
+    def allreduce(self, value: object, op: Callable = sum) -> Behavior:
+        """MPI_Allreduce with a Python reduction over the value list."""
+        def contribute(state: _CollState) -> None:
+            state.data[self.rank] = value
+
+        def finish(state: _CollState) -> None:
+            values = [state.data[r] for r in sorted(state.data)]
+            state.result = op(values)
+
+        result = yield from self._collective("allreduce", contribute, finish)
+        return result
+
+    def reduce(self, value: object, op: Callable = sum, root: int = 0) -> Behavior:
+        """MPI_Reduce: only the root returns the result."""
+        result = yield from self.allreduce(value, op)
+        return result if self.rank == root else None
+
+    def scatter(self, values: Optional[list], root: int = 0) -> Behavior:
+        """MPI_Scatter: each rank returns its slice of the root's list."""
+        def contribute(state: _CollState) -> None:
+            if self.rank == root:
+                if values is None or len(values) != self.job.size:
+                    raise MpiError("scatter needs one value per rank at root")
+                state.data["values"] = values
+
+        def finish(state: _CollState) -> None:
+            state.result = state.data["values"]
+
+        result = yield from self._collective("scatter", contribute, finish)
+        assert isinstance(result, list)
+        return result[self.rank]
+
+    def __repr__(self) -> str:
+        return f"<RankComm rank={self.rank}/{self.job.size} pid={self.process.pid}>"

@@ -1,0 +1,104 @@
+"""Interconnect model: message delivery with latency and bandwidth.
+
+Delivery cost between two ranks depends on whether they share a node
+(shared-memory transport) or communicate across the fabric (Slingshot
+on Frontier).  The model is deliberately simple — a base latency plus
+a size-proportional serialization delay — because the experiments only
+need *relative* communication behaviour (who talks to whom and how
+much), not absolute wire performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.errors import MpiError
+
+if TYPE_CHECKING:
+    from repro.kernel.process import SimProcess
+    from repro.kernel.scheduler import SimKernel
+
+__all__ = ["Message", "Fabric"]
+
+
+@dataclass
+class Message:
+    """One point-to-point message in flight or queued at the receiver."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: object
+    nbytes: int
+    seq: int = 0
+    sent_tick: int = 0
+    recv_tick: Optional[int] = None
+
+
+@dataclass
+class Fabric:
+    """Latency/bandwidth model for message delivery.
+
+    Times are in ticks (jiffies); bandwidths in bytes per tick.  The
+    defaults approximate "local is instant at jiffy resolution, remote
+    costs one jiffy of latency and ~25 GB/s".
+    """
+
+    local_latency: int = 0
+    remote_latency: int = 1
+    local_bandwidth: float = 2.0e9  # bytes / tick (200 GB/s shared memory)
+    remote_bandwidth: float = 2.5e8  # bytes / tick (25 GB/s NIC)
+    #: multiplicative latency variability (sigma of a lognormal-ish
+    #: factor; 0 disables).  Models the "increased or variable network
+    #: latency" failure mode of §2 — deterministic given the seed.
+    jitter: float = 0.0
+    seed: int = 0
+    #: total bytes accepted per (src_node, dst_node) pair, for diagnostics
+    traffic: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise MpiError("jitter must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def delay_ticks(
+        self, src_proc: "SimProcess", dst_proc: "SimProcess", nbytes: int
+    ) -> int:
+        """Delivery delay for one message, in ticks."""
+        if nbytes < 0:
+            raise MpiError("message size must be >= 0")
+        same_node = src_proc.node is dst_proc.node
+        latency = self.local_latency if same_node else self.remote_latency
+        bandwidth = self.local_bandwidth if same_node else self.remote_bandwidth
+        delay = latency + nbytes / bandwidth
+        if self.jitter > 0:
+            delay *= float(np.exp(self._rng.normal(0.0, self.jitter)))
+        return int(delay)
+
+    def deliver(
+        self,
+        kernel: "SimKernel",
+        src_proc: "SimProcess",
+        dst_proc: "SimProcess",
+        message: Message,
+        on_arrival: Callable[["SimKernel", Message], None],
+    ) -> None:
+        """Schedule arrival of a message at the destination endpoint."""
+        message.sent_tick = kernel.now
+        key = (src_proc.node.node_index, dst_proc.node.node_index)
+        self.traffic[key] = self.traffic.get(key, 0) + message.nbytes
+        delay = self.delay_ticks(src_proc, dst_proc, message.nbytes)
+
+        def arrive(k: "SimKernel") -> None:
+            message.recv_tick = k.now
+            on_arrival(k, message)
+
+        if delay <= 0:
+            # same-tick delivery: enqueue directly so a receiver polling
+            # later in this very tick can already match it
+            arrive(kernel)
+        else:
+            kernel.call_after(delay, arrive)

@@ -1,0 +1,80 @@
+"""Point-to-point interposition: the bytes-per-rank-pair recorder.
+
+This is the simulation analogue of ZeroSum wrapping the MPI
+point-to-point API (§3.1.3): a :class:`P2PRecorder` attaches to one or
+more rank communicators and accumulates a dense ``size × size`` matrix
+of transferred bytes and message counts, which post-processing renders
+as the Figure 5 communication heatmap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.mpi.comm import RankComm
+
+__all__ = ["P2PRecorder"]
+
+
+class P2PRecorder:
+    """Accumulates the (sender, receiver) → bytes/messages matrices."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise MpiError("world size must be >= 1")
+        self.world_size = world_size
+        self.bytes = np.zeros((world_size, world_size), dtype=np.int64)
+        self.messages = np.zeros((world_size, world_size), dtype=np.int64)
+        self._attached: list[RankComm] = []
+
+    def attach(self, comm: RankComm) -> None:
+        """Install the wrapper on one rank's communicator."""
+        if comm.Get_size() > self.world_size:
+            raise MpiError(
+                f"recorder sized for {self.world_size} ranks, job has "
+                f"{comm.Get_size()}"
+            )
+        comm.p2p_hooks.append(self._record)
+        self._attached.append(comm)
+
+    def detach_all(self) -> None:
+        """Remove the wrapper from every attached communicator."""
+        for comm in self._attached:
+            try:
+                comm.p2p_hooks.remove(self._record)
+            except ValueError:
+                pass
+        self._attached.clear()
+
+    def _record(self, src: int, dst: int, nbytes: int) -> None:
+        self.bytes[src, dst] += nbytes
+        self.messages[src, dst] += 1
+
+    # -- analysis helpers ---------------------------------------------------
+    def total_bytes(self) -> int:
+        """All point-to-point bytes recorded."""
+        return int(self.bytes.sum())
+
+    def merged(self, other: "P2PRecorder") -> "P2PRecorder":
+        """Combine matrices from two recorders (e.g. per-rank logs)."""
+        if other.world_size != self.world_size:
+            raise MpiError("cannot merge recorders of different world sizes")
+        out = P2PRecorder(self.world_size)
+        out.bytes = self.bytes + other.bytes
+        out.messages = self.messages + other.messages
+        return out
+
+    def diagonal_dominance(self, band: int = 1) -> float:
+        """Fraction of bytes within ``band`` of the diagonal (with
+        periodic wraparound), the quantitative signature of the
+        nearest-neighbour pattern in Figure 5."""
+        total = self.bytes.sum()
+        if total == 0:
+            return 0.0
+        n = self.world_size
+        idx = np.arange(n)
+        dist = np.abs(idx[None, :] - idx[:, None])
+        dist = np.minimum(dist, n - dist)  # ring distance
+        near = self.bytes[dist <= band].sum()
+        return float(near / total)

@@ -1,0 +1,18 @@
+"""Simulated OpenMP runtime: places, binding, teams, OMPT."""
+
+from repro.openmp.bind import BIND_POLICIES, assign_places
+from repro.openmp.ompt import OmptEvent, OmptRegistry, OmptThreadType
+from repro.openmp.places import make_places, parse_places
+from repro.openmp.runtime import OpenMPRuntime, RegionFn
+
+__all__ = [
+    "OpenMPRuntime",
+    "RegionFn",
+    "assign_places",
+    "BIND_POLICIES",
+    "make_places",
+    "parse_places",
+    "OmptRegistry",
+    "OmptEvent",
+    "OmptThreadType",
+]

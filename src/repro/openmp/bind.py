@@ -1,0 +1,61 @@
+"""OMP_PROC_BIND thread-to-place assignment policies.
+
+Implements the OpenMP specification's ``false`` / ``master`` /
+``close`` / ``spread`` distribution of a team of T threads over P
+places.  The returned list maps thread number → affinity cpuset.
+
+``spread`` with T ≤ P splits the P places into T subpartitions (the
+first ``P mod T`` subpartitions one place larger) and assigns thread
+*i* the first place of subpartition *i*; this is what makes the
+paper's Listing 2 binding come out as cores 1, 3, 5, 7 for four
+threads over seven core-places, and Table 3's one-thread-per-core for
+seven over seven.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LaunchError
+from repro.topology.cpuset import CpuSet
+
+__all__ = ["assign_places", "BIND_POLICIES"]
+
+BIND_POLICIES = ("false", "true", "master", "close", "spread")
+
+
+def assign_places(
+    places: list[CpuSet], num_threads: int, policy: str | None
+) -> list[CpuSet]:
+    """Affinity cpuset per thread number for the given bind policy."""
+    if num_threads < 1:
+        raise LaunchError("team must have at least one thread")
+    if not places:
+        raise LaunchError("no places to bind to")
+    policy = (policy or "false").lower()
+    if policy not in BIND_POLICIES:
+        raise LaunchError(f"unknown OMP_PROC_BIND policy {policy!r}")
+
+    if policy == "false":
+        # unbound: every thread may use the union of all places
+        union = places[0]
+        for p in places[1:]:
+            union = union | p
+        return [union] * num_threads
+
+    if policy == "master":
+        return [places[0]] * num_threads
+
+    count = len(places)
+    if policy in ("close", "true"):
+        if num_threads <= count:
+            return [places[i] for i in range(num_threads)]
+        # more threads than places: wrap around, packing neighbours
+        return [places[i % count] for i in range(num_threads)]
+
+    # spread: partition the P places into T subpartitions — the first
+    # P mod T subpartitions get one extra place — and give thread i the
+    # first place of subpartition i (OpenMP 5.x affinity rules)
+    if num_threads <= count:
+        q, r = divmod(count, num_threads)
+        return [places[i * q + min(i, r)] for i in range(num_threads)]
+    # more threads than places: wrap threads onto places evenly
+    return [places[(i * count) // num_threads] for i in range(num_threads)]

@@ -1,0 +1,74 @@
+"""Minimal OMPT (OpenMP Tools) callback interface.
+
+ZeroSum registers an OMPT ``thread-begin`` callback on 5.1+ runtimes to
+learn which POSIX threads back OpenMP threads (§3.1.2).  The simulated
+runtime offers the same hook so the monitor integration path is real:
+tools register callbacks; the runtime invokes them at thread begin/end
+and parallel region begin/end.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.kernel.lwp import LWP
+
+__all__ = ["OmptEvent", "OmptThreadType", "OmptRegistry"]
+
+
+class OmptThreadType(enum.Enum):
+    """``ompt_thread_t``: what kind of thread joined the runtime."""
+
+    INITIAL = "ompt_thread_initial"
+    WORKER = "ompt_thread_worker"
+    OTHER = "ompt_thread_other"
+
+
+class OmptEvent(enum.Enum):
+    """The callback points the simulated runtime dispatches."""
+
+    THREAD_BEGIN = "thread_begin"
+    THREAD_END = "thread_end"
+    PARALLEL_BEGIN = "parallel_begin"
+    PARALLEL_END = "parallel_end"
+
+
+class OmptRegistry:
+    """Callback registry owned by one simulated OpenMP runtime."""
+
+    def __init__(self) -> None:
+        self._callbacks: dict[OmptEvent, list[Callable[..., None]]] = {
+            e: [] for e in OmptEvent
+        }
+
+    def set_callback(self, event: OmptEvent, fn: Callable[..., None]) -> None:
+        """Register a tool callback (``ompt_set_callback``)."""
+        self._callbacks[event].append(fn)
+
+    def clear(self) -> None:
+        """Drop every registered callback."""
+        for handlers in self._callbacks.values():
+            handlers.clear()
+
+    # -- dispatch (called by the runtime) ---------------------------------
+    def thread_begin(self, thread_type: OmptThreadType, lwp: "LWP") -> None:
+        """Runtime-side dispatch: a thread joined the runtime."""
+        for fn in self._callbacks[OmptEvent.THREAD_BEGIN]:
+            fn(thread_type, lwp)
+
+    def thread_end(self, lwp: "LWP") -> None:
+        """Runtime-side dispatch: a thread left the runtime."""
+        for fn in self._callbacks[OmptEvent.THREAD_END]:
+            fn(lwp)
+
+    def parallel_begin(self, team_size: int, master: Optional["LWP"]) -> None:
+        """Runtime-side dispatch: a parallel region starts."""
+        for fn in self._callbacks[OmptEvent.PARALLEL_BEGIN]:
+            fn(team_size, master)
+
+    def parallel_end(self, master: Optional["LWP"]) -> None:
+        """Runtime-side dispatch: a parallel region ended."""
+        for fn in self._callbacks[OmptEvent.PARALLEL_END]:
+            fn(master)

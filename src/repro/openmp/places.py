@@ -1,0 +1,105 @@
+"""OMP_PLACES parsing and place-list construction.
+
+A *place* is a set of hardware threads a single OpenMP thread may be
+bound to.  Places are derived from the node topology restricted to the
+process's allowed cpuset, following the OpenMP 5.x environment
+variable semantics:
+
+* ``threads`` — one place per hardware thread;
+* ``cores`` — one place per physical core (all its allowed HWTs);
+* ``sockets`` — one place per package;
+* ``numa_domains`` — one place per NUMA domain;
+* explicit lists — ``{1},{3},{5}`` or interval syntax ``{0:4}``
+  (start:length), optionally comma-combined.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LaunchError
+from repro.topology.cpuset import CpuSet
+from repro.topology.objects import Machine, ObjType
+
+__all__ = ["parse_places", "make_places"]
+
+_INTERVAL_RE = re.compile(r"^(\d+)(?::(\d+)(?::(\d+))?)?$")
+
+
+def parse_places(text: str) -> list[CpuSet] | str:
+    """Parse an OMP_PLACES value.
+
+    Returns either a symbolic keyword (``"cores"`` etc.) or an explicit
+    list of cpusets.
+    """
+    text = text.strip().lower()
+    if text in ("threads", "cores", "sockets", "numa_domains", "ll_caches"):
+        return text
+    if not text.startswith("{"):
+        raise LaunchError(f"unsupported OMP_PLACES value: {text!r}")
+    places: list[CpuSet] = []
+    for chunk in re.findall(r"\{([^}]*)\}", text):
+        cpus: list[int] = []
+        for piece in chunk.split(","):
+            piece = piece.strip()
+            m = _INTERVAL_RE.match(piece)
+            if not m:
+                raise LaunchError(f"bad place element {piece!r} in {text!r}")
+            start = int(m.group(1))
+            length = int(m.group(2)) if m.group(2) else 1
+            stride = int(m.group(3)) if m.group(3) else 1
+            cpus.extend(start + i * stride for i in range(length))
+        if not cpus:
+            raise LaunchError(f"empty place in {text!r}")
+        places.append(CpuSet(cpus))
+    if not places:
+        raise LaunchError(f"no places found in {text!r}")
+    return places
+
+
+def make_places(
+    machine: Machine, cpuset: CpuSet, places_spec: str | list[CpuSet] | None
+) -> list[CpuSet]:
+    """Build the effective place list for a process.
+
+    Symbolic specs partition the process cpuset along topology
+    boundaries; explicit lists are intersected with the cpuset.  When no
+    spec is given the default is one place covering the whole cpuset
+    (i.e. unbound threads), matching ``OMP_PROC_BIND=false`` behaviour.
+    """
+    if places_spec is None:
+        return [cpuset]
+    if isinstance(places_spec, str):
+        spec = parse_places(places_spec) if places_spec.startswith("{") else places_spec
+        if isinstance(spec, list):
+            places_spec = spec
+        else:
+            kind = {
+                "threads": None,
+                "cores": ObjType.CORE,
+                "ll_caches": ObjType.L3,
+                "sockets": ObjType.PACKAGE,
+                "numa_domains": ObjType.NUMA,
+            }
+            if spec == "threads":
+                return [CpuSet([c]) for c in cpuset]
+            obj_type = kind.get(spec)
+            if obj_type is None:
+                raise LaunchError(f"unsupported OMP_PLACES keyword {spec!r}")
+            places = []
+            for obj in machine.root.by_type(obj_type):
+                inter = obj.cpuset() & cpuset
+                if inter:
+                    places.append(inter)
+            if not places:
+                raise LaunchError(
+                    f"OMP_PLACES={spec} produced no places for cpuset "
+                    f"{cpuset.to_list()}"
+                )
+            return places
+    # explicit list: clip to allowed cpus, drop empty places
+    clipped = [p & cpuset for p in places_spec]
+    clipped = [p for p in clipped if p]
+    if not clipped:
+        raise LaunchError("explicit OMP_PLACES entirely outside allowed cpuset")
+    return clipped

@@ -1,0 +1,124 @@
+"""The simulated ``/proc`` virtual filesystem facade.
+
+ZeroSum's collector is written against *paths*: it reads
+``/proc/stat``, ``/proc/meminfo``, lists ``/proc/<pid>/task`` and reads
+each task's ``stat``/``status``.  :class:`ProcFS` answers those reads
+from simulator state, rendering real kernel text formats on the fly,
+so the monitor code is substrate-agnostic (see :mod:`repro.live` for
+the real-/proc twin).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProcFSError
+from repro.kernel.node import SimNode
+from repro.kernel.scheduler import SimKernel
+from repro.procfs import formats
+
+__all__ = ["ProcFS"]
+
+_PATH_RE = re.compile(
+    r"^/proc/(?:"
+    r"(?P<top>stat|meminfo|uptime)"
+    r"|(?P<pid>\d+|self)(?P<rest>(?:/.*)?)"
+    r")$"
+)
+
+
+class ProcFS:
+    """Read-only view of one node's ``/proc``."""
+
+    def __init__(self, kernel: SimKernel, node: SimNode, self_pid: int | None = None):
+        self.kernel = kernel
+        self.node = node
+        #: pid that the alias ``/proc/self`` resolves to
+        self.self_pid = self_pid
+
+    # -- path resolution --------------------------------------------------
+    def _resolve_pid(self, pid_text: str) -> int:
+        if pid_text == "self":
+            if self.self_pid is None:
+                raise ProcFSError("/proc/self used without a self pid")
+            return self.self_pid
+        return int(pid_text)
+
+    def read(self, path: str) -> str:
+        """Read a /proc file; raises ProcFSError for unknown paths."""
+        m = _PATH_RE.match(path)
+        if not m:
+            raise ProcFSError(f"no such file: {path}")
+        if m.group("top"):
+            top = m.group("top")
+            if top == "stat":
+                return formats.render_proc_stat(self.node, self.kernel.now)
+            if top == "meminfo":
+                return formats.render_meminfo(self.node)
+            total_idle = sum(h.idle_at(self.kernel.now) for h in self.node.hwts.values())
+            return formats.render_uptime(self.kernel.now, total_idle)
+
+        pid = self._resolve_pid(m.group("pid"))
+        rest = (m.group("rest") or "").strip("/")
+        proc = self.node.processes.get(pid)
+        lwp = None
+        if proc is None:
+            # maybe a tid addressed directly (Linux allows /proc/<tid>)
+            lwp = self.kernel.lwps.get(pid)
+            if lwp is None or lwp.process.node is not self.node:
+                raise ProcFSError(f"no such process: {pid}")
+            proc = lwp.process
+        parts = rest.split("/") if rest else []
+
+        if not parts:
+            raise ProcFSError(f"{path} is a directory")
+        if parts == ["stat"]:
+            target = lwp if lwp is not None else proc.main_thread
+            return formats.render_pid_stat(target, self.kernel.now)
+        if parts == ["status"]:
+            target = lwp if lwp is not None else proc.main_thread
+            return formats.render_pid_status(target, self._mask_words())
+        if parts[0] == "task":
+            if len(parts) == 1:
+                raise ProcFSError(f"{path} is a directory")
+            tid = int(parts[1])
+            task = proc.threads.get(tid)
+            if task is None:
+                raise ProcFSError(f"no task {tid} in process {proc.pid}")
+            if len(parts) == 3 and parts[2] == "stat":
+                return formats.render_pid_stat(task, self.kernel.now)
+            if len(parts) == 3 and parts[2] == "status":
+                return formats.render_pid_status(task, self._mask_words())
+            raise ProcFSError(f"no such file: {path}")
+        if parts == ["io"]:
+            return formats.render_pid_io(proc)
+        if parts == ["cmdline"]:
+            return proc.command + "\x00"
+        raise ProcFSError(f"no such file: {path}")
+
+    def listdir(self, path: str) -> list[str]:
+        """List a /proc directory (only the ones the monitor needs)."""
+        m = _PATH_RE.match(path)
+        if m and m.group("top"):
+            raise ProcFSError(f"{path} is not a directory")
+        if path.rstrip("/") == "/proc":
+            return sorted(str(pid) for pid in self.node.processes)
+        if not m:
+            raise ProcFSError(f"no such directory: {path}")
+        pid = self._resolve_pid(m.group("pid"))
+        rest = (m.group("rest") or "").strip("/")
+        proc = self.node.processes.get(pid)
+        if proc is None:
+            raise ProcFSError(f"no such process: {pid}")
+        if rest == "":
+            return ["stat", "status", "task", "cmdline", "io"]
+        if rest == "task":
+            # live tasks only, like the real kernel
+            return sorted(
+                str(tid) for tid, t in proc.threads.items() if t.alive
+            )
+        raise ProcFSError(f"no such directory: {path}")
+
+    def _mask_words(self) -> int:
+        ncpus = max(self.node.hwts) + 1 if self.node.hwts else 1
+        return (ncpus + 31) // 32

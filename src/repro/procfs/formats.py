@@ -1,0 +1,170 @@
+"""Render simulator state in real Linux ``/proc`` text formats.
+
+ZeroSum reads ``/proc/stat``, ``/proc/meminfo``,
+``/proc/<pid>/status`` and ``/proc/<pid>/task/<tid>/stat``; these
+functions produce byte-compatible content from the simulation so the
+very same parsers (see :mod:`repro.procfs.parsers`) work against a real
+Linux ``/proc`` — which :mod:`repro.live` exploits.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.lwp import LWP, ThreadState
+from repro.kernel.node import SimNode
+from repro.kernel.process import SimProcess
+from repro.units import KIB, PAGE_SIZE
+
+__all__ = [
+    "render_pid_io",
+    "render_proc_stat",
+    "render_meminfo",
+    "render_uptime",
+    "render_pid_stat",
+    "render_pid_status",
+    "STATE_DESCRIPTIONS",
+]
+
+STATE_DESCRIPTIONS = {
+    "R": "R (running)",
+    "S": "S (sleeping)",
+    "D": "D (disk sleep)",
+    "T": "T (stopped)",
+    "Z": "Z (zombie)",
+    "X": "X (dead)",
+}
+
+
+def render_proc_stat(node: SimNode, tick: int) -> str:
+    """The ``cpu``/``cpuN`` lines of ``/proc/stat`` (jiffies, floored)."""
+    lines = []
+    tot = [0] * 10
+    per_cpu = []
+    for cpu in sorted(node.hwts):
+        h = node.hwts[cpu]
+        vals = [
+            int(h.user),
+            int(h.nice),
+            int(h.system),
+            int(h.idle_at(tick)),
+            int(h.iowait),
+            int(h.irq),
+            int(h.softirq),
+            0,  # steal
+            0,  # guest
+            0,  # guest_nice
+        ]
+        per_cpu.append((cpu, vals))
+        tot = [a + b for a, b in zip(tot, vals)]
+    lines.append("cpu  " + " ".join(str(v) for v in tot))
+    for cpu, vals in per_cpu:
+        lines.append(f"cpu{cpu} " + " ".join(str(v) for v in vals))
+    lines.append(f"ctxt {sum(l.vcsw + l.nvcsw for p in node.processes.values() for l in p.threads.values())}")
+    lines.append(f"btime 0")
+    lines.append(f"processes {len(node.processes)}")
+    running = sum(
+        1
+        for p in node.processes.values()
+        for l in p.threads.values()
+        if l.state is ThreadState.RUNNING
+    )
+    lines.append(f"procs_running {running}")
+    lines.append("procs_blocked 0")
+    return "\n".join(lines) + "\n"
+
+
+def render_meminfo(node: SimNode) -> str:
+    """``/proc/meminfo`` with the fields ZeroSum's memory check reads."""
+    fields = node.memory.meminfo_kib()
+    width = 8
+    return (
+        "".join(
+            f"{name + ':':<15}{value:>{width}} kB\n" for name, value in fields.items()
+        )
+    )
+
+
+def render_uptime(tick: int, idle_jiffies: float = 0.0) -> str:
+    """``/proc/uptime``: seconds up and aggregate idle seconds."""
+    return f"{tick / 100:.2f} {idle_jiffies / 100:.2f}\n"
+
+
+def render_pid_stat(lwp: LWP, tick: int) -> str:
+    """One LWP's ``/proc/<pid>/task/<tid>/stat`` line (52 fields)."""
+    proc = lwp.process
+    comm = proc.command.split("/")[-1][:15]
+    state = lwp.state.value
+    rss_pages = proc.rss_bytes // PAGE_SIZE
+    fields = [
+        lwp.tid,  # 1 pid
+        f"({comm})",  # 2 comm
+        state,  # 3 state
+        0,  # 4 ppid
+        proc.pid,  # 5 pgrp
+        proc.pid,  # 6 session
+        0,  # 7 tty_nr
+        -1,  # 8 tpgid
+        0,  # 9 flags
+        lwp.minflt,  # 10 minflt
+        0,  # 11 cminflt
+        lwp.majflt,  # 12 majflt
+        0,  # 13 cmajflt
+        int(lwp.utime),  # 14 utime
+        int(lwp.stime),  # 15 stime
+        0,  # 16 cutime
+        0,  # 17 cstime
+        20,  # 18 priority
+        0,  # 19 nice
+        proc.num_threads,  # 20 num_threads
+        0,  # 21 itrealvalue
+        lwp.start_tick,  # 22 starttime
+        proc.vm_bytes,  # 23 vsize
+        rss_pages,  # 24 rss
+        2**64 - 1,  # 25 rsslim
+    ]
+    fields += [0] * 13  # 26..38 (addresses, signal masks, wchan, ...)
+    fields += [
+        lwp.last_cpu,  # 39 processor
+        0,  # 40 rt_priority
+        0,  # 41 policy
+        0,  # 42 delayacct_blkio_ticks
+        0,  # 43 guest_time
+        0,  # 44 cguest_time
+    ]
+    fields += [0] * 8  # 45..52
+    return " ".join(str(f) for f in fields) + "\n"
+
+
+def render_pid_status(lwp: LWP, mask_words: int | None = None) -> str:
+    """``/proc/<pid>/task/<tid>/status`` (the fields ZeroSum parses)."""
+    proc = lwp.process
+    comm = proc.command.split("/")[-1][:15]
+    state = STATE_DESCRIPTIONS[lwp.state.value]
+    lines = [
+        f"Name:\t{comm}",
+        f"State:\t{state}",
+        f"Tgid:\t{proc.pid}",
+        f"Pid:\t{lwp.tid}",
+        f"PPid:\t0",
+        f"VmPeak:\t{proc.peak_rss_bytes // KIB} kB",
+        f"VmSize:\t{proc.vm_bytes // KIB} kB",
+        f"VmRSS:\t{proc.rss_bytes // KIB} kB",
+        f"Threads:\t{proc.num_threads}",
+        f"Cpus_allowed:\t{lwp.affinity.to_mask(mask_words)}",
+        f"Cpus_allowed_list:\t{lwp.affinity.to_list()}",
+        f"voluntary_ctxt_switches:\t{lwp.vcsw}",
+        f"nonvoluntary_ctxt_switches:\t{lwp.nvcsw}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def render_pid_io(proc: SimProcess) -> str:
+    """``/proc/<pid>/io``: filesystem transfer counters."""
+    return (
+        f"rchar: {proc.read_bytes}\n"
+        f"wchar: {proc.write_bytes}\n"
+        f"syscr: {proc.read_syscalls}\n"
+        f"syscw: {proc.write_syscalls}\n"
+        f"read_bytes: {proc.read_bytes}\n"
+        f"write_bytes: {proc.write_bytes}\n"
+        f"cancelled_write_bytes: 0\n"
+    )

@@ -1,0 +1,246 @@
+"""Parsers for ``/proc`` text formats.
+
+These are the *collector-side* parsers of the ZeroSum reproduction.
+They are deliberately written against the kernel's documented formats
+(proc(5)) rather than against our renderers, and they are exercised
+both on simulated content and on the real ``/proc`` of the host by
+:mod:`repro.live`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProcFSError
+from repro.topology.cpuset import CpuSet
+
+__all__ = [
+    "TaskIo",
+    "parse_pid_io",
+    "TaskStat",
+    "TaskStatus",
+    "CpuTimes",
+    "parse_pid_stat",
+    "parse_pid_status",
+    "parse_proc_stat",
+    "parse_meminfo",
+    "parse_uptime",
+]
+
+
+@dataclass(frozen=True)
+class TaskStat:
+    """Fields of ``/proc/<pid>/task/<tid>/stat`` used by the monitor."""
+
+    pid: int
+    comm: str
+    state: str
+    minflt: int
+    majflt: int
+    utime: int
+    stime: int
+    num_threads: int
+    starttime: int
+    vsize: int
+    rss_pages: int
+    processor: int
+
+
+@dataclass(frozen=True)
+class TaskStatus:
+    """Fields of ``/proc/<pid>/task/<tid>/status`` used by the monitor."""
+
+    name: str
+    state: str
+    tgid: int
+    pid: int
+    vm_rss_kib: int
+    vm_size_kib: int
+    threads: int
+    cpus_allowed: CpuSet
+    voluntary_ctxt_switches: int
+    nonvoluntary_ctxt_switches: int
+
+
+@dataclass(frozen=True)
+class TaskIo:
+    """Fields of ``/proc/<pid>/io``."""
+
+    rchar: int
+    wchar: int
+    syscr: int
+    syscw: int
+    read_bytes: int
+    write_bytes: int
+
+
+def parse_pid_io(text: str) -> TaskIo:
+    """Parse /proc/<pid>/io counters."""
+    fields: dict[str, int] = {}
+    for line in text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        try:
+            fields[key.strip()] = int(value.strip())
+        except ValueError:
+            continue
+    try:
+        return TaskIo(
+            rchar=fields.get("rchar", 0),
+            wchar=fields.get("wchar", 0),
+            syscr=fields.get("syscr", 0),
+            syscw=fields.get("syscw", 0),
+            read_bytes=fields["read_bytes"],
+            write_bytes=fields["write_bytes"],
+        )
+    except KeyError as exc:
+        raise ProcFSError(f"io file missing field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CpuTimes:
+    """One ``cpuN`` line of ``/proc/stat`` (jiffies)."""
+
+    cpu: int  # -1 for the aggregate "cpu" line
+    user: int
+    nice: int
+    system: int
+    idle: int
+    iowait: int
+    irq: int
+    softirq: int
+    steal: int
+
+    @property
+    def busy(self) -> int:
+        return self.user + self.nice + self.system + self.irq + self.softirq
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.idle + self.iowait + self.steal
+
+
+def parse_pid_stat(text: str) -> TaskStat:
+    """Parse a stat line; the comm field may contain spaces and parens."""
+    text = text.strip()
+    try:
+        lparen = text.index("(")
+        rparen = text.rindex(")")
+    except ValueError as exc:
+        raise ProcFSError(f"malformed stat line: {text[:80]!r}") from exc
+    pid_part = text[:lparen].strip()
+    comm = text[lparen + 1 : rparen]
+    rest = text[rparen + 1 :].split()
+    # rest[0] is field 3 (state); field N lives at rest[N - 3]
+    if len(rest) < 37:
+        raise ProcFSError(f"stat line has only {len(rest) + 2} fields")
+    try:
+        return TaskStat(
+            pid=int(pid_part),
+            comm=comm,
+            state=rest[0],
+            minflt=int(rest[7]),
+            majflt=int(rest[9]),
+            utime=int(rest[11]),
+            stime=int(rest[12]),
+            num_threads=int(rest[17]),
+            starttime=int(rest[19]),
+            vsize=int(rest[20]),
+            rss_pages=int(rest[21]),
+            processor=int(rest[36]),
+        )
+    except (ValueError, IndexError) as exc:
+        raise ProcFSError(f"unparsable stat line: {text[:80]!r}") from exc
+
+
+def _status_int(fields: dict[str, str], key: str, default: int | None = None) -> int:
+    if key not in fields:
+        if default is not None:
+            return default
+        raise ProcFSError(f"status missing field {key!r}")
+    value = fields[key].split()[0]
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ProcFSError(f"bad integer for {key!r}: {value!r}") from exc
+
+
+def parse_pid_status(text: str) -> TaskStatus:
+    """Parse the key/value fields of /proc/<pid>/status."""
+    fields: dict[str, str] = {}
+    for line in text.splitlines():
+        if ":" in line:
+            key, _, value = line.partition(":")
+            fields[key.strip()] = value.strip()
+    if "State" not in fields:
+        raise ProcFSError("status missing State")
+    state_letter = fields["State"].split()[0]
+    cpus = fields.get("Cpus_allowed_list")
+    if cpus is not None:
+        allowed = CpuSet.from_list(cpus)
+    elif "Cpus_allowed" in fields:
+        allowed = CpuSet.from_mask(fields["Cpus_allowed"])
+    else:
+        allowed = CpuSet()
+    return TaskStatus(
+        name=fields.get("Name", "?"),
+        state=state_letter,
+        tgid=_status_int(fields, "Tgid"),
+        pid=_status_int(fields, "Pid"),
+        vm_rss_kib=_status_int(fields, "VmRSS", default=0),
+        vm_size_kib=_status_int(fields, "VmSize", default=0),
+        threads=_status_int(fields, "Threads"),
+        cpus_allowed=allowed,
+        voluntary_ctxt_switches=_status_int(
+            fields, "voluntary_ctxt_switches", default=0
+        ),
+        nonvoluntary_ctxt_switches=_status_int(
+            fields, "nonvoluntary_ctxt_switches", default=0
+        ),
+    )
+
+
+def parse_proc_stat(text: str) -> dict[int, CpuTimes]:
+    """Parse all cpu lines; key ``-1`` holds the aggregate."""
+    result: dict[int, CpuTimes] = {}
+    for line in text.splitlines():
+        if not line.startswith("cpu"):
+            continue
+        parts = line.split()
+        label = parts[0]
+        cpu = -1 if label == "cpu" else int(label[3:])
+        vals = [int(v) for v in parts[1:9]]
+        while len(vals) < 8:
+            vals.append(0)
+        result[cpu] = CpuTimes(cpu, *vals)
+    if not result:
+        raise ProcFSError("no cpu lines found in /proc/stat content")
+    return result
+
+
+def parse_meminfo(text: str) -> dict[str, int]:
+    """Parse meminfo into a dict of KiB values."""
+    result: dict[str, int] = {}
+    for line in text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        parts = value.split()
+        if not parts:
+            continue
+        try:
+            result[key.strip()] = int(parts[0])
+        except ValueError:
+            continue
+    if "MemTotal" not in result:
+        raise ProcFSError("meminfo missing MemTotal")
+    return result
+
+
+def parse_uptime(text: str) -> tuple[float, float]:
+    """Parse /proc/uptime into (uptime, idle) seconds."""
+    parts = text.split()
+    if len(parts) < 2:
+        raise ProcFSError(f"malformed uptime: {text!r}")
+    return float(parts[0]), float(parts[1])

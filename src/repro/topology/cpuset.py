@@ -1,0 +1,193 @@
+"""CPU sets with Linux list and mask syntax.
+
+A :class:`CpuSet` is an immutable set of OS hardware-thread indexes.  It
+round-trips the two textual encodings used by the kernel:
+
+* the *list* format of ``Cpus_allowed_list`` and ``taskset --cpu-list``,
+  e.g. ``"1-7,9-15,128"``;
+* the *mask* format of ``Cpus_allowed``, comma-separated 32-bit hex words,
+  most significant first, e.g. ``"ff,ffffffff"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import CpuSetError
+
+__all__ = ["CpuSet"]
+
+
+class CpuSet:
+    """Immutable, ordered set of CPU (hardware thread) OS indexes."""
+
+    __slots__ = ("_cpus",)
+
+    def __init__(self, cpus: Iterable[int] = ()):
+        seen = set()
+        for c in cpus:
+            c = int(c)
+            if c < 0:
+                raise CpuSetError(f"negative CPU index: {c}")
+            seen.add(c)
+        self._cpus: tuple[int, ...] = tuple(sorted(seen))
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_list(cls, text: str) -> "CpuSet":
+        """Parse kernel list syntax, e.g. ``"0-3,8,10-11"``.
+
+        An empty or whitespace-only string yields the empty set, matching
+        ``Cpus_allowed_list`` for a zero mask.
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        cpus: list[int] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                raise CpuSetError(f"empty range in cpu list: {text!r}")
+            if "-" in part:
+                lo_s, _, hi_s = part.partition("-")
+                try:
+                    lo, hi = int(lo_s), int(hi_s)
+                except ValueError as exc:
+                    raise CpuSetError(f"bad range {part!r} in {text!r}") from exc
+                if hi < lo:
+                    raise CpuSetError(f"descending range {part!r} in {text!r}")
+                cpus.extend(range(lo, hi + 1))
+            else:
+                try:
+                    cpus.append(int(part))
+                except ValueError as exc:
+                    raise CpuSetError(f"bad index {part!r} in {text!r}") from exc
+        return cls(cpus)
+
+    @classmethod
+    def from_mask(cls, text: str) -> "CpuSet":
+        """Parse ``Cpus_allowed`` hex-word syntax (MSW first)."""
+        words = [w.strip() for w in text.strip().split(",")]
+        if not words or any(not w for w in words):
+            raise CpuSetError(f"bad cpu mask: {text!r}")
+        try:
+            value = 0
+            for w in words:
+                value = (value << 32) | int(w, 16)
+        except ValueError as exc:
+            raise CpuSetError(f"bad cpu mask: {text!r}") from exc
+        cpus = []
+        i = 0
+        while value:
+            if value & 1:
+                cpus.append(i)
+            value >>= 1
+            i += 1
+        return cls(cpus)
+
+    @classmethod
+    def range(cls, start: int, stop: int) -> "CpuSet":
+        """Half-open range ``[start, stop)`` like :func:`range`."""
+        return cls(range(start, stop))
+
+    # -- encodings --------------------------------------------------------
+    def to_list(self) -> str:
+        """Render kernel list syntax (``"1-7,9"``)."""
+        if not self._cpus:
+            return ""
+        runs: list[str] = []
+        start = prev = self._cpus[0]
+        for c in self._cpus[1:]:
+            if c == prev + 1:
+                prev = c
+                continue
+            runs.append(f"{start}-{prev}" if prev > start else f"{start}")
+            start = prev = c
+        runs.append(f"{start}-{prev}" if prev > start else f"{start}")
+        return ",".join(runs)
+
+    def to_mask(self, width_words: int | None = None) -> str:
+        """Render ``Cpus_allowed`` hex words, most significant first."""
+        value = 0
+        for c in self._cpus:
+            value |= 1 << c
+        words: list[str] = []
+        while value:
+            words.append(f"{value & 0xFFFFFFFF:08x}")
+            value >>= 32
+        if not words:
+            words = ["00000000"]
+        if width_words is not None:
+            while len(words) < width_words:
+                words.append("00000000")
+        return ",".join(reversed(words))
+
+    # -- set algebra -------------------------------------------------------
+    def union(self, other: "CpuSet | Iterable[int]") -> "CpuSet":
+        """Set union."""
+        return CpuSet(set(self._cpus) | set(CpuSet._coerce(other)))
+
+    def intersection(self, other: "CpuSet | Iterable[int]") -> "CpuSet":
+        """Set intersection."""
+        return CpuSet(set(self._cpus) & set(CpuSet._coerce(other)))
+
+    def difference(self, other: "CpuSet | Iterable[int]") -> "CpuSet":
+        """Set difference."""
+        return CpuSet(set(self._cpus) - set(CpuSet._coerce(other)))
+
+    def issubset(self, other: "CpuSet | Iterable[int]") -> bool:
+        """True if every CPU here is also in other."""
+        return set(self._cpus) <= set(CpuSet._coerce(other))
+
+    def overlaps(self, other: "CpuSet | Iterable[int]") -> bool:
+        """True if the two sets share any CPU."""
+        return bool(set(self._cpus) & set(CpuSet._coerce(other)))
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    @staticmethod
+    def _coerce(other: "CpuSet | Iterable[int]") -> tuple[int, ...]:
+        if isinstance(other, CpuSet):
+            return other._cpus
+        return tuple(int(c) for c in other)
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cpus)
+
+    def __len__(self) -> int:
+        return len(self._cpus)
+
+    def __contains__(self, cpu: object) -> bool:
+        return cpu in self._cpus
+
+    def __bool__(self) -> bool:
+        return bool(self._cpus)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CpuSet):
+            return self._cpus == other._cpus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._cpus)
+
+    def __getitem__(self, idx: int) -> int:
+        return self._cpus[idx]
+
+    def first(self) -> int:
+        """Lowest CPU index; raises on the empty set."""
+        if not self._cpus:
+            raise CpuSetError("empty cpuset has no first CPU")
+        return self._cpus[0]
+
+    def last(self) -> int:
+        """Highest CPU index; raises on the empty set."""
+        if not self._cpus:
+            raise CpuSetError("empty cpuset has no last CPU")
+        return self._cpus[-1]
+
+    def __repr__(self) -> str:
+        return f"CpuSet({self.to_list()!r})"

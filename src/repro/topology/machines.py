@@ -1,0 +1,196 @@
+"""Built-in node models for the machines discussed in the paper.
+
+Each factory returns a fresh :class:`~repro.topology.objects.Machine`.
+The shapes follow the public node diagrams cited in the paper (Figures
+1-3) and the OLCF/NERSC user guides:
+
+* **Frontier** — one 64-core AMD "Optimized 3rd Gen EPYC", SMT2
+  (HWT pair ``(c, c+64)``), 4 NUMA domains × 2 L3 regions × 8 cores,
+  512 GB DDR4, and 8 MI250X GCDs whose physical ordering
+  ``[[4, 5], [2, 3], [6, 7], [0, 1]]`` maps non-intuitively onto NUMA
+  domains ``[0, 1, 2, 3]`` (Figure 2).  In the default *low-noise*
+  mode Slurm reserves the first core of each L3 region.
+* **Summit** — two 22-core POWER9 packages, SMT4 with linear PU
+  numbering, one core per socket reserved for the OS (which is why the
+  core ordering in Figure 1 skips from 83 to 88), 6 V100 GPUs, 3 per
+  socket.
+* **Perlmutter** — one 64-core AMD Milan, SMT2, 4 NUMA domains,
+  4 A100 GPUs one per NUMA domain (Figure 3 left).
+* **Aurora** — two 52-core Intel packages, 6 PVC GPUs, 3 per package
+  (Figure 3 right).
+* **testnode_i7** — the Intel Core i7-1165G7 workstation of Listing 1:
+  4 cores × 2 PU, 12 MB L3, 1280 KB L2, 48 KB L1, interleaved PU
+  numbering (core 0 = ``P#0``/``P#4``).
+"""
+
+from __future__ import annotations
+
+from repro.topology.builder import NodeSpec, build_machine
+from repro.topology.objects import Machine
+
+__all__ = [
+    "frontier_node",
+    "summit_node",
+    "perlmutter_node",
+    "aurora_node",
+    "testnode_i7",
+    "generic_node",
+    "MACHINE_FACTORIES",
+]
+
+#: Frontier's GCD physical index per NUMA domain (Figure 2).
+FRONTIER_GCD_ORDER: tuple[tuple[int, int], ...] = ((4, 5), (2, 3), (6, 7), (0, 1))
+
+_GCD_MEM = 64 * 1024**3
+
+
+def frontier_node(low_noise: bool = True, name: str = "frontier00001") -> Machine:
+    """An OLCF Frontier compute node.
+
+    ``low_noise=True`` reproduces the default SLURM configuration that
+    reserves the first core of each of the eight L3 regions (cores
+    0, 8, 16, ..., 56) for system processes.
+    """
+    gpus = []
+    for numa, gcds in enumerate(FRONTIER_GCD_ORDER):
+        for gcd in gcds:
+            gpus.append((gcd, numa, "AMD MI250X GCD", _GCD_MEM))
+    gpus.sort(key=lambda g: g[0])
+    spec = NodeSpec(
+        name=name,
+        packages=1,
+        numa_per_package=4,
+        l3_per_numa=2,
+        cores_per_l3=8,
+        smt=2,
+        numbering="interleaved",
+        l3_size=32 * 1024**2,
+        l2_size=512 * 1024,
+        l1_size=32 * 1024,
+        memory_bytes=512 * 1024**3,
+        reserved_cores=tuple(range(0, 64, 8)) if low_noise else (),
+        gpus=tuple(gpus),
+    )
+    return build_machine(spec)
+
+
+def summit_node(name: str = "summit00001") -> Machine:
+    """An OLCF Summit compute node (2 × POWER9 + 6 × V100)."""
+    gpus = tuple(
+        (i, 0 if i < 3 else 1, "NVIDIA V100", 16 * 1024**3) for i in range(6)
+    )
+    spec = NodeSpec(
+        name=name,
+        packages=2,
+        numa_per_package=1,
+        l3_per_numa=11,  # POWER9 L3 slices shared by core pairs
+        cores_per_l3=2,
+        smt=4,
+        numbering="linear",
+        l3_size=10 * 1024**2,
+        l2_size=512 * 1024,
+        l1_size=32 * 1024,
+        memory_bytes=512 * 1024**3,
+        # last core of each socket reserved (core ordering skips 83->88)
+        reserved_cores=(21, 43),
+        gpus=gpus,
+    )
+    return build_machine(spec)
+
+
+def perlmutter_node(name: str = "nid000001") -> Machine:
+    """A NERSC Perlmutter GPU node (AMD Milan + 4 × A100)."""
+    gpus = tuple((i, i, "NVIDIA A100", 40 * 1024**3) for i in range(4))
+    spec = NodeSpec(
+        name=name,
+        packages=1,
+        numa_per_package=4,
+        l3_per_numa=2,
+        cores_per_l3=8,
+        smt=2,
+        numbering="interleaved",
+        l3_size=32 * 1024**2,
+        l2_size=512 * 1024,
+        l1_size=32 * 1024,
+        memory_bytes=256 * 1024**3,
+        gpus=gpus,
+    )
+    return build_machine(spec)
+
+
+def aurora_node(name: str = "aurora00001") -> Machine:
+    """An ALCF Aurora node (2 × Sapphire Rapids + 6 × PVC)."""
+    gpus = tuple(
+        (i, 0 if i < 3 else 1, "Intel Data Center GPU Max", 128 * 1024**3)
+        for i in range(6)
+    )
+    spec = NodeSpec(
+        name=name,
+        packages=2,
+        numa_per_package=1,
+        l3_per_numa=1,
+        cores_per_l3=52,
+        smt=2,
+        numbering="interleaved",
+        l3_size=105 * 1024**2,
+        l2_size=2 * 1024**2,
+        l1_size=48 * 1024,
+        memory_bytes=1024 * 1024**3,
+        gpus=gpus,
+    )
+    return build_machine(spec)
+
+
+def testnode_i7(name: str = "testnode") -> Machine:
+    """The Listing 1 workstation: Intel Core i7-1165G7, 4C/8T."""
+    spec = NodeSpec(
+        name=name,
+        packages=1,
+        numa_per_package=1,
+        l3_per_numa=1,
+        cores_per_l3=4,
+        smt=2,
+        numbering="interleaved",
+        l3_size=12 * 1024**2,
+        l2_size=1280 * 1024,
+        l1_size=48 * 1024,
+        memory_bytes=16 * 1024**3,
+    )
+    return build_machine(spec)
+
+
+def generic_node(
+    cores: int = 8,
+    smt: int = 1,
+    numa: int = 1,
+    gpus: int = 0,
+    memory_bytes: int = 64 * 1024**3,
+    name: str = "node",
+) -> Machine:
+    """A plain symmetric node for tests and synthetic experiments."""
+    if cores % numa:
+        raise ValueError("cores must be divisible by numa")
+    gpu_tuples = tuple(
+        (i, i % numa, "Generic GPU", 16 * 1024**3) for i in range(gpus)
+    )
+    spec = NodeSpec(
+        name=name,
+        packages=1,
+        numa_per_package=numa,
+        l3_per_numa=1,
+        cores_per_l3=cores // numa,
+        smt=smt,
+        numbering="interleaved",
+        memory_bytes=memory_bytes,
+        gpus=gpu_tuples,
+    )
+    return build_machine(spec)
+
+
+MACHINE_FACTORIES = {
+    "frontier": frontier_node,
+    "summit": summit_node,
+    "perlmutter": perlmutter_node,
+    "aurora": aurora_node,
+    "testnode": testnode_i7,
+}

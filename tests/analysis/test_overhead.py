@@ -1,0 +1,66 @@
+"""Overhead statistics machinery (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DistributionSummary, compare_distributions
+from repro.errors import MonitorError
+
+
+class TestDistributionSummary:
+    def test_from_samples(self):
+        s = DistributionSummary.from_samples("x", [1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.n == 3
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_needs_two(self):
+        with pytest.raises(MonitorError):
+            DistributionSummary.from_samples("x", [1.0])
+
+    def test_render(self):
+        s = DistributionSummary.from_samples("base", [1.0, 1.0])
+        assert "base:" in s.render()
+
+
+class TestCompare:
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(27.33, 0.04, size=10)
+        b = rng.normal(27.33, 0.04, size=10)
+        result = compare_distributions(a, b)
+        assert not result.significant
+        assert abs(result.mean_overhead_percent) < 0.5
+
+    def test_shifted_distribution_detected(self):
+        """The paper's 2-threads-per-core case: ~0.5 % mean shift with
+        tight spreads is statistically visible."""
+        rng = np.random.default_rng(1)
+        base = rng.normal(57.0657, 0.0486, size=10)
+        treated = rng.normal(57.3409, 0.1823, size=10)
+        result = compare_distributions(base, treated)
+        assert result.significant
+        assert 0.2 < result.mean_overhead_percent < 1.0
+
+    def test_welch_vs_student(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(10, 0.1, 10)
+        b = rng.normal(10.5, 0.5, 10)
+        welch = compare_distributions(a, b, equal_var=False)
+        student = compare_distributions(a, b, equal_var=True)
+        assert welch.p_value != student.p_value
+        assert welch.significant and student.significant
+
+    def test_render_mentions_verdict(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(1, 0.01, 10)
+        result = compare_distributions(a, a + 1.0)
+        text = result.render()
+        assert "overhead detected" in text
+        assert "t-test" in text
+
+    def test_labels(self):
+        result = compare_distributions([1, 2, 3], [1, 2, 3],
+                                       labels=("before", "after"))
+        assert result.baseline.label == "before"
+        assert result.treated.label == "after"

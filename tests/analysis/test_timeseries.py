@@ -1,0 +1,90 @@
+"""Time-series assembly (Figures 6-7) tests."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.analysis import (
+    all_hwt_series,
+    all_lwp_series,
+    hwt_series,
+    lwp_series,
+    render_series_table,
+)
+from repro.errors import MonitorError
+
+T3_CMD = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+          "srun -n8 -c7 zerosum-mpi miniqmc")
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    step = run_miniqmc(T3_CMD, blocks=12, block_jiffies=60)
+    return step.monitors[0]
+
+
+class TestLwpSeries:
+    def test_busy_thread_high_user(self, monitor):
+        pid = monitor.process.pid
+        series = lwp_series(monitor, pid)
+        assert series.mean_user() > 70.0
+        assert len(series) >= 5
+
+    def test_idle_helper_low_user(self, monitor):
+        other = [t for t in monitor.observed_tids()
+                 if monitor.classify(t) == "Other"][0]
+        series = lwp_series(monitor, other)
+        assert series.mean_user() < 2.0
+
+    def test_stacked_sums_to_100(self, monitor):
+        pid = monitor.process.pid
+        s = lwp_series(monitor, pid)
+        total = s.user_pct + s.system_pct + s.idle_pct
+        assert np.all(total <= 100.0 + 1e-6)
+        assert np.all(total >= 0.0)
+
+    def test_label_includes_kind(self, monitor):
+        s = lwp_series(monitor, monitor.process.pid)
+        assert "Main" in s.label
+
+    def test_needs_two_samples(self, monitor):
+        from repro.core.records import LWP_COLUMNS, SeriesBuffer
+
+        monitor_copy_series = SeriesBuffer(LWP_COLUMNS)
+        monitor_copy_series.append((0,) * len(LWP_COLUMNS))
+        monitor.lwp_series[999999] = monitor_copy_series
+        with pytest.raises(MonitorError):
+            lwp_series(monitor, 999999)
+        del monitor.lwp_series[999999]
+
+    def test_noisiness_metric(self, monitor):
+        s = lwp_series(monitor, monitor.process.pid)
+        assert s.noisiness() >= 0.0
+
+
+class TestHwtSeries:
+    def test_busy_cpu(self, monitor):
+        s = hwt_series(monitor, 1)
+        assert s.user_pct.mean() > 60.0
+
+    def test_stacked_sums_near_100(self, monitor):
+        s = hwt_series(monitor, 3)
+        total = s.user_pct + s.system_pct + s.idle_pct
+        assert np.allclose(total, 100.0, atol=8.0)
+
+    def test_all_series(self, monitor):
+        lwps = all_lwp_series(monitor)
+        hwts = all_hwt_series(monitor)
+        assert len(lwps) == 9
+        assert len(hwts) == 7
+
+
+class TestRenderTable:
+    def test_render(self, monitor):
+        table = render_series_table(all_hwt_series(monitor)[:2])
+        lines = table.splitlines()
+        assert "CPU 1" in lines[0]
+        assert len(lines) >= 3
+
+    def test_empty(self):
+        assert "(no series)" in render_series_table([])

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+# deterministic property tests: the suite must be reproducible run-to-run
+settings.register_profile("deterministic", derandomize=True)
+settings.load_profile("deterministic")
+
+from repro.topology import frontier_node, generic_node
+
+
+@pytest.fixture
+def small_node():
+    """4-core, SMT2, 2-NUMA, 2-GPU node for fast kernel tests."""
+    return generic_node(cores=4, smt=2, numa=2, gpus=2)
+
+
+@pytest.fixture
+def frontier():
+    return frontier_node()

@@ -1,0 +1,88 @@
+"""Progress tracking and deadlock suspicion (§3.3 extension)."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.apps import deadlock_app
+from repro.core import ProgressTracker, ThreadSnapshot, ZeroSumConfig, zerosum_mpi
+from repro.core.reports import build_report
+from repro.launch import SrunOptions, launch_job
+from repro.topology import generic_node
+
+
+def snap(tid, state, total):
+    return ThreadSnapshot(tid=tid, state=state, total_jiffies=total)
+
+
+class TestProgressTracker:
+    def test_progress_resets_counter(self):
+        tracker = ProgressTracker(threshold=2)
+        assert not tracker.observe([snap(1, "R", 10)])
+        assert not tracker.observe([snap(1, "S", 10)])  # 1 stalled
+        assert not tracker.observe([snap(1, "S", 15)])  # progress! reset
+        assert tracker.stalled_samples == 0
+
+    def test_deadlock_after_threshold(self):
+        tracker = ProgressTracker(threshold=3)
+        tracker.observe([snap(1, "R", 10)])
+        results = [tracker.observe([snap(1, "S", 10)]) for _ in range(3)]
+        assert results == [False, False, True]
+        assert tracker.deadlock_suspected
+        assert tracker.deadlock_sample == 4
+
+    def test_runnable_thread_is_progress(self):
+        tracker = ProgressTracker(threshold=1)
+        tracker.observe([snap(1, "R", 10)])
+        assert not tracker.observe([snap(1, "R", 10)])
+        assert not tracker.deadlock_suspected
+
+    def test_ignored_tids_excluded(self):
+        tracker = ProgressTracker(threshold=1, ignore_tids={99})
+        tracker.observe([snap(1, "S", 5), snap(99, "R", 100)])
+        assert tracker.observe([snap(1, "S", 5), snap(99, "R", 200)])
+
+    def test_zero_threshold_never_flags(self):
+        tracker = ProgressTracker(threshold=0)
+        for _ in range(10):
+            tracker.observe([snap(1, "S", 5)])
+        assert not tracker.deadlock_suspected
+
+    def test_describe(self):
+        tracker = ProgressTracker(threshold=1)
+        assert "normal" in tracker.describe()
+        tracker.observe([snap(1, "S", 1)])
+        tracker.observe([snap(1, "S", 1)])
+        assert "deadlock" in tracker.describe()
+
+    def test_empty_snapshot_list(self):
+        tracker = ProgressTracker(threshold=1)
+        assert not tracker.observe([])
+
+
+class TestDeadlockDetectionEndToEnd:
+    def test_hung_app_flagged(self):
+        """An app that blocks forever is flagged by the monitor while
+        the simulation keeps running (the monitor thread stays alive)."""
+        step = launch_job(
+            [generic_node(cores=2)],
+            SrunOptions(ntasks=1),
+            deadlock_app(deadlock_after_jiffies=20),
+            monitor_factory=zerosum_mpi(
+                ZeroSumConfig(period_seconds=0.5, deadlock_after=3)
+            ),
+        )
+        step.run(max_ticks=500, raise_on_stall=False)
+        step.finalize()
+        zs = step.monitors[0]
+        assert zs.deadlock_suspected()
+        report = build_report(zs)
+        assert "deadlock" in report.deadlock_note
+
+    def test_healthy_app_not_flagged(self):
+        step = run_miniqmc(
+            "OMP_NUM_THREADS=7 srun -n8 -c7 zerosum-mpi miniqmc",
+            blocks=10, block_jiffies=50,
+            zs_config=ZeroSumConfig(deadlock_after=2),
+        )
+        assert not step.monitors[0].deadlock_suspected()
+        assert build_report(step.monitors[0]).deadlock_note == ""

@@ -1,0 +1,177 @@
+"""ZeroSum monitor behaviour on the simulated substrate."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.core import ZeroSum, ZeroSumConfig
+from repro.errors import MonitorError
+from repro.kernel import Compute, SimKernel, ThreadRole
+from repro.topology import CpuSet, generic_node
+
+T3_CMD = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+          "srun -n8 -c7 zerosum-mpi miniqmc")
+
+
+class TestConfigValidation:
+    def test_bad_period(self):
+        with pytest.raises(MonitorError):
+            ZeroSumConfig(period_seconds=0)
+
+    def test_bad_cost(self):
+        with pytest.raises(MonitorError):
+            ZeroSumConfig(sample_cost_jiffies=-1)
+
+    def test_bad_placement(self):
+        with pytest.raises(MonitorError):
+            ZeroSumConfig(monitor_cpu="middle")
+
+    def test_bad_user_frac(self):
+        with pytest.raises(MonitorError):
+            ZeroSumConfig(sample_user_frac=2.0)
+
+
+class TestMonitorThread:
+    def test_monitor_thread_on_last_cpu_by_default(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        assert zs.monitor_lwp.affinity == CpuSet([7])
+        assert ThreadRole.ZEROSUM in zs.monitor_lwp.roles
+
+    def test_monitor_cpu_first(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=3,
+            zs_config=ZeroSumConfig(monitor_cpu="first"),
+        )
+        assert step.monitors[0].monitor_lwp.affinity == CpuSet([1])
+
+    def test_monitor_cpu_explicit(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=3, zs_config=ZeroSumConfig(monitor_cpu=3)
+        )
+        assert step.monitors[0].monitor_lwp.affinity == CpuSet([3])
+
+    def test_monitor_cpu_unbound(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=3, zs_config=ZeroSumConfig(monitor_cpu=None)
+        )
+        zs = step.monitors[0]
+        assert zs.monitor_lwp.affinity == zs.process.cpuset
+
+    def test_monitor_cpu_off_node_rejected(self):
+        kernel = SimKernel(generic_node(cores=2))
+
+        def gen():
+            yield Compute(5)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        with pytest.raises(MonitorError):
+            ZeroSum(kernel, proc, config=ZeroSumConfig(monitor_cpu=99))
+
+    def test_monitor_is_daemon(self):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        assert step.monitors[0].monitor_lwp.daemon
+
+
+class TestSampling:
+    def test_sample_count_matches_duration(self):
+        step = run_miniqmc(T3_CMD, blocks=10, block_jiffies=50)
+        zs = step.monitors[0]
+        expected = step.duration_seconds  # one per second + final
+        assert zs.samples_taken == pytest.approx(expected + 1, abs=2)
+
+    def test_period_configurable(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=6, block_jiffies=50,
+            zs_config=ZeroSumConfig(period_seconds=0.5),
+        )
+        zs = step.monitors[0]
+        assert zs.samples_taken >= 2 * step.duration_seconds - 2
+
+    def test_all_threads_observed(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        proc = step.processes[0]
+        assert set(zs.observed_tids()) == set(proc.threads)
+
+    def test_affinity_requeried_each_sample(self):
+        """§3.1.1: affinity may change after creation."""
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        # OpenMP workers were re-bound after spawn; monitor saw it
+        omp_tids = [t for t in zs.observed_tids() if "OpenMP" in zs.classify(t)]
+        affs = {zs.lwp_affinity[t].to_list() for t in omp_tids}
+        assert len(affs) == 7  # one core each
+
+    def test_hwt_series_restricted_to_process_affinity(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        assert set(zs.hwt_series) == set(CpuSet.from_list("1-7"))
+
+    def test_memory_series_collected(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        assert len(zs.mem_series) >= 1
+        assert zs.mem_series.last("mem_total_kib") > 0
+        # the final sample sees the reaped (zero-RSS) process, so check
+        # the peak over the run
+        assert zs.mem_series.column("rss_kib").max() > 0
+
+    def test_collect_flags_disable_sections(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=3,
+            zs_config=ZeroSumConfig(
+                collect_hwt=False, collect_memory=False, collect_gpu=False
+            ),
+        )
+        zs = step.monitors[0]
+        assert not zs.hwt_series
+        assert len(zs.mem_series) == 0
+
+    def test_mpi_recorder_attached_and_collectives_invisible(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        assert zs.recorder is not None
+        # miniQMC only reduces via collectives, which the p2p wrapper
+        # does not see — exactly like wrapping only MPI_Send/Recv
+        assert zs.recorder.total_bytes() == 0
+
+    def test_classification(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        proc = step.processes[0]
+        assert zs.classify(proc.pid) == "Main, OpenMP"
+        assert zs.classify(zs.monitor_lwp.tid) == "ZeroSum"
+        labels = [zs.classify(t) for t in zs.observed_tids()]
+        assert labels.count("OpenMP") == 6
+        assert labels.count("Other") == 1  # the MPI helper
+
+    def test_initial_detection(self):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        zs = step.monitors[0]
+        assert zs.initial.cpus_allowed.to_list() == "1-7"
+        assert zs.initial.mpi_rank == 0
+        assert zs.initial.mpi_size == 8
+        assert "HWLOC Node topology:" in zs.initial.topology_text
+        assert zs.initial.hostname.startswith("frontier")
+
+    def test_heartbeats(self):
+        step = run_miniqmc(
+            T3_CMD, blocks=10, block_jiffies=50,
+            zs_config=ZeroSumConfig(heartbeat_every=2),
+        )
+        zs = step.monitors[0]
+        assert zs.heartbeats
+        assert "viable" in zs.heartbeats[0]
+
+    def test_finalize_idempotent(self):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        zs = step.monitors[0]
+        before = zs.samples_taken
+        zs.finalize()
+        assert zs.samples_taken == before
+
+    def test_duration(self):
+        step = run_miniqmc(T3_CMD, blocks=3)
+        zs = step.monitors[0]
+        assert zs.duration_ticks == step.ticks_run
+        assert zs.duration_seconds == pytest.approx(step.duration_seconds)

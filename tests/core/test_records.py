@@ -1,0 +1,92 @@
+"""SeriesBuffer column store tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import STATE_CODES, SeriesBuffer, state_code
+from repro.errors import MonitorError
+
+
+class TestSeriesBuffer:
+    def test_append_and_len(self):
+        s = SeriesBuffer(("a", "b"))
+        s.append((1.0, 2.0))
+        s.append((3.0, 4.0))
+        assert len(s) == 2
+
+    def test_growth_beyond_capacity(self):
+        s = SeriesBuffer(("x",), capacity=2)
+        for i in range(100):
+            s.append((float(i),))
+        assert len(s) == 100
+        assert s.column("x")[-1] == 99.0
+
+    def test_column_access(self):
+        s = SeriesBuffer(("a", "b"))
+        s.append((1.0, 10.0))
+        s.append((2.0, 20.0))
+        assert list(s.column("b")) == [10.0, 20.0]
+
+    def test_unknown_column(self):
+        s = SeriesBuffer(("a",))
+        with pytest.raises(MonitorError):
+            s.column("zzz")
+
+    def test_row_width_checked(self):
+        s = SeriesBuffer(("a", "b"))
+        with pytest.raises(MonitorError):
+            s.append((1.0,))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(MonitorError):
+            SeriesBuffer(())
+
+    def test_last(self):
+        s = SeriesBuffer(("a",))
+        s.append((5.0,))
+        assert s.last("a") == 5.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(MonitorError):
+            SeriesBuffer(("a",)).last("a")
+
+    def test_deltas(self):
+        s = SeriesBuffer(("c",))
+        for v in (10.0, 25.0, 27.0):
+            s.append((v,))
+        assert list(s.deltas("c")) == [10.0, 15.0, 2.0]
+
+    def test_array_view_no_copy(self):
+        s = SeriesBuffer(("a",))
+        s.append((1.0,))
+        assert s.array.base is not None
+
+    def test_iter_rows(self):
+        s = SeriesBuffer(("a", "b"))
+        s.append((1.0, 2.0))
+        rows = list(s.iter_rows())
+        assert rows == [{"a": 1.0, "b": 2.0}]
+
+    def test_to_csv(self):
+        s = SeriesBuffer(("tick", "v"))
+        s.append((1.0, 2.5))
+        text = s.to_csv()
+        assert text.splitlines()[0] == "tick,v"
+        assert text.splitlines()[1] == "1,2.5"
+
+    def test_to_csv_with_prefix(self):
+        s = SeriesBuffer(("v",))
+        s.append((3.0,))
+        text = s.to_csv(prefix_cols={"tid": 42})
+        assert text.splitlines()[0] == "tid,v"
+        assert text.splitlines()[1] == "42,3"
+
+
+class TestStateCodes:
+    def test_known_states(self):
+        assert state_code("R") == 0
+        assert state_code("S") == 1
+        assert state_code("D") == 2
+
+    def test_unknown_maps_to_dead(self):
+        assert state_code("?") == STATE_CODES["X"]

@@ -1,0 +1,121 @@
+"""Utilization report structure and Listing 2 formatting."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.core import build_report, format_cpus
+from repro.topology import CpuSet
+
+T3_CMD = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+          "srun -n8 -c7 zerosum-mpi miniqmc")
+GPU_CMD = ("OMP_PROC_BIND=spread OMP_PLACES=cores OMP_NUM_THREADS=4 "
+           "srun -n8 --gpus-per-task=1 --cpus-per-task=7 "
+           "--gpu-bind=closest zerosum-mpi miniqmc")
+
+
+class TestFormatCpus:
+    def test_short_expanded(self):
+        assert format_cpus(CpuSet.from_list("1-7")) == "[1,2,3,4,5,6,7]"
+
+    def test_long_uses_ranges(self):
+        cs = CpuSet.from_list("1-7,9-15,17-23")
+        assert format_cpus(cs).startswith("[1-7,")
+
+    def test_empty(self):
+        assert format_cpus(CpuSet()) == "[]"
+
+
+class TestReportStructure:
+    @pytest.fixture(scope="class")
+    def report(self):
+        step = run_miniqmc(T3_CMD, blocks=6, block_jiffies=50)
+        return build_report(step.monitors[0])
+
+    def test_header(self, report):
+        text = report.render()
+        assert text.startswith("Duration of execution:")
+        assert "Process Summary:" in text
+        assert "LWP (thread) Summary:" in text
+        assert "Hardware Summary:" in text
+
+    def test_process_line(self, report):
+        text = report.render()
+        assert "MPI 000 - PID" in text
+        assert "Node frontier" in text
+        assert "CPUs allowed: [1,2,3,4,5,6,7]" in text
+
+    def test_lwp_rows_complete(self, report):
+        # Main+6 OpenMP + ZeroSum + Other = 9 LWPs, as in Tables 1-3
+        assert len(report.lwp_rows) == 9
+
+    def test_lwp_kinds(self, report):
+        kinds = [r.kind for r in report.lwp_rows]
+        assert kinds.count("Main, OpenMP") == 1
+        assert kinds.count("OpenMP") == 6
+        assert kinds.count("ZeroSum") == 1
+        assert kinds.count("Other") == 1
+
+    def test_lwp_row_format(self, report):
+        row = report.lwp_by_kind("Main")[0]
+        line = row.render()
+        assert line.startswith(f"LWP {row.tid}: Main, OpenMP - stime:")
+        assert "nv_ctx:" in line and "ctx:" in line and "CPUs: [1]" in line
+
+    def test_hwt_rows(self, report):
+        assert [r.cpu for r in report.hwt_rows] == list(range(1, 8))
+        for row in report.hwt_rows:
+            total = row.idle_pct + row.system_pct + row.user_pct
+            assert total == pytest.approx(100.0, abs=3.0)
+
+    def test_hwt_row_format(self, report):
+        line = report.hwt_rows[0].render()
+        assert line.startswith("CPU 001 - idle:")
+
+    def test_busy_threads_high_utilization(self, report):
+        for row in report.lwp_by_kind("OpenMP"):
+            assert row.utime_pct > 80.0
+
+    def test_other_thread_idle(self, report):
+        other = report.lwp_by_kind("Other")[0]
+        assert other.utime_pct < 1.0
+        assert len(other.cpus) > 100  # unbound across the node
+
+    def test_idle_cpus_helper(self, report):
+        assert report.idle_cpus() == []
+
+    def test_total_nv_ctx(self, report):
+        assert report.total_nv_ctx() == sum(r.nv_ctx for r in report.lwp_rows)
+
+
+class TestGpuSection:
+    @pytest.fixture(scope="class")
+    def report(self):
+        step = run_miniqmc(GPU_CMD, blocks=6, offload=True)
+        return build_report(step.monitors[0])
+
+    def test_gpu_stats_present(self, report):
+        assert 0 in report.gpu_stats
+        labels = [s.label for s in report.gpu_stats[0]]
+        assert "Device Busy %" in labels
+        assert "Used VRAM Bytes" in labels
+        assert "Temperature (C)" in labels
+
+    def test_min_avg_max_ordering(self, report):
+        for stat in report.gpu_stats[0]:
+            assert stat.minimum <= stat.average <= stat.maximum
+
+    def test_gpu_busy_nonzero(self, report):
+        busy = [s for s in report.gpu_stats[0] if s.label == "Device Busy %"][0]
+        assert busy.maximum > 10.0
+
+    def test_vram_grows_during_run(self, report):
+        vram = [s for s in report.gpu_stats[0] if s.label == "Used VRAM Bytes"][0]
+        assert vram.maximum > vram.minimum
+
+    def test_render_includes_gpu_header(self, report):
+        assert "GPU 0 - (metric:  min  avg  max)" in report.render()
+
+    def test_host_cores_partially_idle(self, report):
+        """Listing 2: offload leaves host cores idle while GPU works."""
+        idle = [r.idle_pct for r in report.hwt_rows]
+        assert max(idle) > 20.0

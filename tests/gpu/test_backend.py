@@ -1,0 +1,75 @@
+"""Vendor dispatch for the GPU monitoring backend (§3.4)."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.gpu import KernelRequest, backend_name, make_smi
+from repro.kernel import SimKernel
+from repro.topology import aurora_node, frontier_node, perlmutter_node
+
+
+def devices_of(machine):
+    return SimKernel(machine).nodes[0].gpus
+
+
+class TestDispatch:
+    def test_amd_uses_rsmi(self):
+        devices = devices_of(frontier_node())
+        assert backend_name(devices) == "rsmi"
+        assert make_smi(devices).name == "rsmi"
+
+    def test_nvidia_uses_nvml(self):
+        devices = devices_of(perlmutter_node())
+        assert backend_name(devices) == "nvml"
+        assert make_smi(devices).name == "nvml"
+
+    def test_intel_uses_sycl(self):
+        devices = devices_of(aurora_node())
+        assert backend_name(devices) == "sycl"
+        assert make_smi(devices).name == "sycl"
+
+    def test_no_devices(self):
+        assert backend_name([]) == "none"
+
+
+class TestCommonSurface:
+    @pytest.mark.parametrize("factory", [frontier_node, perlmutter_node,
+                                         aurora_node])
+    def test_all_backends_sample_and_report_memory(self, factory):
+        kernel = SimKernel(factory())
+        devices = kernel.nodes[0].gpus[:2]
+        smi = make_smi(devices)
+        assert smi.num_devices() == 2
+        devices[0].submit(KernelRequest(jiffies=10))
+        smi.sample(0, kernel.now)  # baseline
+        for _ in range(20):
+            kernel.step()
+        sample = smi.sample(0, kernel.now)
+        assert sample.busy_percent > 20.0
+        used, free = smi.memory_usage(0)
+        assert used + free == devices[0].info.memory_bytes
+        assert smi.device(1) is devices[1]
+
+
+class TestMonitorIntegration:
+    def test_monitor_on_perlmutter_uses_nvml_transparently(self):
+        step = run_miniqmc(
+            "OMP_NUM_THREADS=2 srun -n2 -c8 --gpus-per-task=1 "
+            "--gpu-bind=closest zerosum-mpi miniqmc",
+            blocks=4, offload=True,
+            machine=perlmutter_node(),
+        )
+        zs = step.monitors[0]
+        assert zs.smi is not None and zs.smi.name == "nvml"
+        assert zs.gpu_series  # samples flowed through the adapter
+
+    def test_monitor_on_aurora_uses_sycl(self):
+        step = run_miniqmc(
+            "OMP_NUM_THREADS=2 srun -n2 -c8 --gpus-per-task=1 "
+            "zerosum-mpi miniqmc",
+            blocks=4, offload=True,
+            machine=aurora_node(),
+        )
+        zs = step.monitors[0]
+        assert zs.smi is not None and zs.smi.name == "sycl"
+        assert zs.gpu_series

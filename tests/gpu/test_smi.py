@@ -1,0 +1,103 @@
+"""SMI shim tests: ROCm-SMI and NVML query surfaces."""
+
+import pytest
+
+from repro.errors import GpuError
+from repro.gpu import GpuDevice, KernelRequest, Nvml, RocmSmi
+from repro.gpu.metrics import METRIC_LABELS, METRIC_ORDER
+from repro.kernel import SimKernel
+from repro.topology import GpuInfo, generic_node
+
+
+@pytest.fixture
+def world():
+    kernel = SimKernel(generic_node(cores=1, gpus=2))
+    return kernel, kernel.nodes[0].gpus
+
+
+class TestRocmSmi:
+    def test_num_devices(self, world):
+        _, devices = world
+        assert RocmSmi(devices).num_devices() == 2
+
+    def test_unknown_device(self, world):
+        _, devices = world
+        with pytest.raises(GpuError):
+            RocmSmi(devices).device(9)
+
+    def test_busy_percent_is_delta_based(self, world):
+        kernel, devices = world
+        smi = RocmSmi(devices)
+        smi.sample(0, kernel.now)  # baseline
+        devices[0].submit(KernelRequest(jiffies=50))
+        for _ in range(100):
+            kernel.step()
+        s = smi.sample(0, kernel.now)
+        assert s.busy_percent == pytest.approx(50.0, abs=3.0)
+        # next window is idle
+        for _ in range(100):
+            kernel.step()
+        s2 = smi.sample(0, kernel.now)
+        assert s2.busy_percent == pytest.approx(0.0, abs=1.0)
+
+    def test_idle_device_zero_busy(self, world):
+        kernel, devices = world
+        smi = RocmSmi(devices)
+        for _ in range(10):
+            kernel.step()
+        assert smi.sample(0, kernel.now).busy_percent == 0.0
+
+    def test_sample_covers_all_metrics(self, world):
+        kernel, devices = world
+        s = RocmSmi(devices).sample(0, 0)
+        for metric in METRIC_ORDER:
+            assert hasattr(s, metric)
+        assert set(METRIC_LABELS) == set(METRIC_ORDER)
+
+    def test_memory_usage(self, world):
+        _, devices = world
+        smi = RocmSmi(devices)
+        used, free = smi.memory_usage(0)
+        assert used + free == devices[0].info.memory_bytes
+
+    def test_uvd_always_zero(self, world):
+        kernel, devices = world
+        assert RocmSmi(devices).sample(1, 0).uvd_vcn_activity == 0.0
+
+
+class TestNvml:
+    def test_requires_init(self, world):
+        _, devices = world
+        nvml = Nvml(devices)
+        with pytest.raises(GpuError):
+            nvml.device_count()
+
+    def test_init_shutdown(self, world):
+        _, devices = world
+        nvml = Nvml(devices)
+        nvml.init()
+        assert nvml.device_count() == 2
+        nvml.shutdown()
+        with pytest.raises(GpuError):
+            nvml.device_count()
+
+    def test_utilization_and_memory(self, world):
+        kernel, devices = world
+        nvml = Nvml(devices)
+        nvml.init()
+        devices[0].submit(KernelRequest(jiffies=30))
+        for _ in range(30):
+            kernel.step()
+        util = nvml.utilization_rates(0, kernel.now)
+        assert util.gpu > 50.0
+        mem = nvml.memory_info(0)
+        assert mem.total == devices[0].info.memory_bytes
+        assert mem.used + mem.free == mem.total
+
+    def test_scalar_queries(self, world):
+        kernel, devices = world
+        nvml = Nvml(devices)
+        nvml.init()
+        assert nvml.power_usage_mw(0) >= 90_000
+        assert nvml.temperature_c(0) >= 30
+        assert nvml.clock_mhz(0) >= 700

@@ -1,0 +1,41 @@
+"""Shared launch helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.apps import MiniQmcConfig, miniqmc_app
+from repro.core import ZeroSumConfig, zerosum_mpi
+from repro.launch import SrunOptions, launch_job
+from repro.topology import frontier_node, generic_node
+
+
+def run_miniqmc(
+    cmdline: str,
+    blocks: int = 6,
+    block_jiffies: float = 40.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+    offload: bool = False,
+    monitor: bool = True,
+    machine=None,
+    zs_config: ZeroSumConfig | None = None,
+):
+    """Launch + run + finalize one monitored miniQMC job on Frontier."""
+    opts = SrunOptions.parse(cmdline)
+    app = miniqmc_app(
+        MiniQmcConfig(
+            blocks=blocks,
+            block_jiffies=block_jiffies,
+            jitter=jitter,
+            seed=seed,
+            offload=offload,
+        )
+    )
+    step = launch_job(
+        [machine if machine is not None else frontier_node()],
+        opts,
+        app,
+        monitor_factory=zerosum_mpi(zs_config or ZeroSumConfig()) if monitor else None,
+    )
+    step.run(max_ticks=1_000_000)
+    step.finalize()
+    return step

@@ -1,0 +1,75 @@
+"""CLI smoke tests (zerosum-sim)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_testnode(self, capsys):
+        assert main(["topology", "testnode"]) == 0
+        out = capsys.readouterr().out
+        assert "PU L#1 P#4" in out
+
+    def test_frontier_with_gpus(self, capsys):
+        assert main(["topology", "frontier", "--gpus"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU P#0 NUMA#3" in out
+
+    def test_unknown_machine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["topology", "notamachine"])
+
+
+class TestRunCommand:
+    def test_table3_run(self, capsys):
+        rc = main([
+            "run",
+            "OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+            "srun -n8 -c7 zerosum-mpi miniqmc",
+            "--blocks", "3", "--block-jiffies", "30",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Duration of execution" in out
+        assert "LWP (thread) Summary:" in out
+        assert "Contention report" in out
+
+    def test_default_config_reports_contention_and_advice(self, capsys):
+        rc = main([
+            "run", "OMP_NUM_THREADS=7 srun -n8 zerosum-mpi miniqmc",
+            "--blocks", "4", "--block-jiffies", "50",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oversubscription" in out
+        assert "Configuration advice:" in out
+        assert "-c7" in out
+
+    def test_top_flag_prints_allocation_view(self, capsys):
+        rc = main([
+            "run",
+            "OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+            "srun -n8 -c7 zerosum-mpi miniqmc",
+            "--blocks", "3", "--top",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Allocation overview:" in out
+        assert "load imbalance" in out
+
+
+class TestHeatmapCommand:
+    def test_heatmap(self, capsys):
+        rc = main(["heatmap", "--ranks", "16", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "heatmap (16 ranks" in out
+        assert "diagonal dominance" in out
+
+
+class TestLiveCommand:
+    def test_live(self, capsys):
+        rc = main(["live", "--seconds", "0.4", "--period", "0.1"])
+        assert rc == 0
+        assert "LWP (thread) Summary:" in capsys.readouterr().out

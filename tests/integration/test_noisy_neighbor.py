@@ -1,0 +1,96 @@
+"""Noisy neighbours (§2, Bhatele et al.): seeing interference you
+cannot prevent.
+
+A well-configured job shares a node with an unrelated process that
+violates the partitioning.  ZeroSum cannot stop it, but its data must
+make the interference visible and attributable — which is the paper's
+point about mitigation requiring monitoring.
+"""
+
+import pytest
+
+from repro.apps import MiniQmcConfig, miniqmc_app
+from repro.core import ZeroSumConfig, analyze, build_report, zerosum_mpi
+from repro.kernel import Compute
+from repro.launch import SrunOptions, launch_job
+from repro.topology import CpuSet, frontier_node
+
+T3_CMD = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+          "srun -n1 -c7 zerosum-mpi miniqmc")
+
+
+def run_with_neighbor(neighbor_cpus=None, neighbor_jiffies=800.0):
+    step = launch_job(
+        [frontier_node()],
+        SrunOptions.parse(T3_CMD),
+        miniqmc_app(MiniQmcConfig(blocks=10, block_jiffies=60)),
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+    )
+    if neighbor_cpus is not None:
+        def noisy():
+            yield Compute(neighbor_jiffies, user_frac=0.99)
+
+        step.kernel.spawn_process(
+            step.kernel.nodes[0], neighbor_cpus, noisy(), command="neighbor"
+        )
+    step.run(max_ticks=100_000)
+    step.finalize()
+    return step
+
+
+def job_seconds(step):
+    """The job's own completion time (the neighbour may run longer)."""
+    return max(
+        p.main_thread.exit_tick for p in step.processes
+    ) / step.kernel.clock.hz
+
+
+class TestNoisyNeighbor:
+    def test_baseline_clean(self):
+        step = run_with_neighbor(None)
+        assert analyze(step.monitors[0]).findings == []
+
+    def test_neighbor_on_job_core_slows_and_shows(self):
+        baseline = run_with_neighbor(None)
+        noisy = run_with_neighbor(CpuSet([3]))  # squats on a job core
+        assert job_seconds(noisy) > 1.3 * job_seconds(baseline)
+
+        # the whole team's utilization sags (everyone waits at the
+        # barrier for the victim), but the victim is identifiable by
+        # its non-voluntary context switches
+        report = build_report(noisy.monitors[0])
+        victim = [r for r in report.lwp_rows if list(r.cpus) == [3]
+                  and "OpenMP" in r.kind][0]
+        healthy = [r for r in report.lwp_rows if list(r.cpus) == [2]
+                   and r.kind == "OpenMP"][0]
+        assert victim.nv_ctx > 10 * max(1, healthy.nv_ctx)
+        base_report = build_report(baseline.monitors[0])
+        base_main = base_report.lwp_by_kind("Main")[0]
+        noisy_main = report.lwp_by_kind("Main")[0]
+        assert noisy_main.utime_pct < 0.7 * base_main.utime_pct
+
+    def test_contention_analysis_flags_victim(self):
+        noisy = run_with_neighbor(CpuSet([3]))
+        findings = analyze(noisy.monitors[0]).by_code("time-slicing")
+        assert findings
+        assert any("over-commitment" in f.message for f in findings)
+
+    def test_hwt_report_shows_foreign_load(self):
+        """The CPU table counts *all* activity on the core, including
+        the neighbour's — exactly what exposes it."""
+        noisy = run_with_neighbor(CpuSet([3]))
+        report = build_report(noisy.monitors[0])
+        cpu3 = [r for r in report.hwt_rows if r.cpu == 3][0]
+        # core fully busy even though our thread only got half of it
+        assert cpu3.idle_pct < 5.0
+        victim = [r for r in report.lwp_rows if list(r.cpus) == [3]
+                  and "OpenMP" in r.kind][0]
+        assert victim.utime_pct < 70.0
+
+    def test_neighbor_off_job_cores_harmless(self):
+        baseline = run_with_neighbor(None)
+        polite = run_with_neighbor(CpuSet([20]))  # outside the job cpuset
+        assert job_seconds(polite) == pytest.approx(
+            job_seconds(baseline), rel=0.05
+        )
+        assert analyze(polite.monitors[0]).findings == []

@@ -1,0 +1,129 @@
+"""Memory accounting and OOM behaviour."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.kernel import Alloc, Compute, Free, MemoryAccounting, SimKernel
+from repro.topology import CpuSet, generic_node
+from repro.units import GIB, MIB
+
+
+class TestMemoryAccounting:
+    def test_charge_release(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=0)
+        mem.charge(100 * MIB)
+        assert mem.user_bytes == 100 * MIB
+        mem.release(40 * MIB)
+        assert mem.user_bytes == 60 * MIB
+
+    def test_free_bytes(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=256 * MIB)
+        assert mem.free_bytes == 768 * MIB
+
+    def test_overcommit_raises(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=0)
+        with pytest.raises(OutOfMemoryError):
+            mem.charge(2 * GIB)
+
+    def test_release_clamps_at_zero(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=0)
+        mem.release(5 * MIB)
+        assert mem.user_bytes == 0
+
+    def test_negative_rejected(self):
+        mem = MemoryAccounting(1 * GIB)
+        with pytest.raises(ValueError):
+            mem.charge(-1)
+        with pytest.raises(ValueError):
+            mem.release(-1)
+        with pytest.raises(ValueError):
+            MemoryAccounting(0)
+
+    def test_grow_system(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=0)
+        mem.grow_system(100 * MIB)
+        assert mem.system_bytes == 100 * MIB
+
+    def test_meminfo_kib(self):
+        mem = MemoryAccounting(1 * GIB, system_bytes=0)
+        info = mem.meminfo_kib()
+        assert info["MemTotal"] == GIB // 1024
+        assert info["MemFree"] == GIB // 1024
+        assert set(info) >= {"MemTotal", "MemFree", "MemAvailable"}
+
+
+class TestProcessMemory:
+    def test_alloc_grows_rss_and_faults(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Alloc(1 * MIB)
+            yield Compute(5)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run(max_ticks=2)  # observe while alive
+        assert proc.rss_bytes == 1 * MIB
+        assert proc.main_thread.minflt == 256  # 1 MiB / 4 KiB pages
+
+    def test_free_shrinks_rss(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Alloc(2 * MIB)
+            yield Free(1 * MIB)
+            yield Compute(5)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run(max_ticks=2)
+        assert proc.rss_bytes == 1 * MIB
+        assert proc.peak_rss_bytes == 2 * MIB
+
+    def test_rss_reclaimed_at_exit(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Alloc(1 * MIB)
+            yield Compute(2)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert proc.rss_bytes == 0
+        assert kernel.nodes[0].memory.user_bytes == 0
+
+    def test_node_memory_reflects_processes(self):
+        kernel = SimKernel(generic_node(cores=2))
+
+        def gen():
+            yield Alloc(10 * MIB)
+            yield Compute(5)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run(max_ticks=3)
+        assert kernel.nodes[0].memory.user_bytes == 10 * MIB
+
+    def test_oom_kills_process(self):
+        machine = generic_node(cores=1, memory_bytes=1 * GIB)
+        kernel = SimKernel(machine)
+
+        def gen():
+            for _ in range(10):
+                yield Alloc(512 * MIB)
+                yield Compute(1)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert proc.oom_killed
+        assert proc.exit_code == 137
+        assert kernel.nodes[0].memory.oom_events
+        assert all(not t.alive for t in proc.threads.values())
+
+    def test_oom_event_records_pid(self):
+        machine = generic_node(cores=1, memory_bytes=1 * GIB)
+        kernel = SimKernel(machine)
+
+        def gen():
+            yield Alloc(4 * GIB)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert kernel.nodes[0].memory.oom_events[0][1] == proc.pid

@@ -1,0 +1,413 @@
+"""Scheduler behaviour: accounting, preemption, affinity, balancing."""
+
+import pytest
+
+from repro.errors import DeadlockError, SchedulerError
+from repro.kernel import (
+    Barrier,
+    Call,
+    Compute,
+    Event,
+    SimKernel,
+    Sleep,
+    ThreadState,
+    Wait,
+    YieldCpu,
+)
+from repro.topology import CpuSet, generic_node
+
+
+def compute_gen(jiffies, user_frac=1.0):
+    def gen():
+        yield Compute(jiffies, user_frac=user_frac)
+
+    return gen()
+
+
+class TestBasicExecution:
+    def test_single_thread_runtime(self):
+        kernel = SimKernel(generic_node(cores=1))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(50)
+        )
+        ticks = kernel.run()
+        assert ticks == 50
+        assert proc.main_thread.utime == pytest.approx(50)
+        assert proc.exit_code == 0
+
+    def test_user_system_split(self):
+        kernel = SimKernel(generic_node(cores=1))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(100, user_frac=0.75)
+        )
+        kernel.run()
+        assert proc.main_thread.utime == pytest.approx(75)
+        assert proc.main_thread.stime == pytest.approx(25)
+
+    def test_two_threads_two_cpus_parallel(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(30)
+        )
+        kernel.spawn_thread(proc, compute_gen(30))
+        ticks = kernel.run()
+        # near-perfect parallelism after the initial balance interval
+        assert ticks <= 40
+
+    def test_oversubscription_serializes(self):
+        kernel = SimKernel(generic_node(cores=1))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(30)
+        )
+        kernel.spawn_thread(proc, compute_gen(30))
+        ticks = kernel.run()
+        assert ticks == 60  # fully serialized
+
+    def test_fractional_compute_accumulates(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            for _ in range(10):
+                yield Compute(0.25)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        ticks = kernel.run()
+        assert ticks == 3  # 2.5 jiffies of work in 3 ticks
+        assert proc.main_thread.utime == pytest.approx(2.5)
+
+    def test_sleep_takes_wall_time(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Compute(5)
+            yield Sleep(20)
+            yield Compute(5)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        ticks = kernel.run()
+        # sleep begins within the tick the first compute ends
+        assert 29 <= ticks <= 32
+        assert proc.main_thread.vcsw >= 1  # the sleep
+
+    def test_jiffy_conservation_across_threads(self):
+        """Sum of LWP jiffies == sum of HWT busy jiffies."""
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(37, 0.9)
+        )
+        kernel.spawn_thread(proc, compute_gen(23, 0.7))
+        kernel.run()
+        lwp_total = sum(t.total_jiffies for t in proc.threads.values())
+        hwt_total = sum(h.busy_jiffies for h in kernel.nodes[0].hwts.values())
+        assert lwp_total == pytest.approx(hwt_total)
+        assert lwp_total == pytest.approx(60)
+
+
+class TestContextSwitches:
+    def test_timeslice_preemption_counts_nvcsw(self):
+        kernel = SimKernel(generic_node(cores=1), timeslice=2)
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(40)
+        )
+        kernel.spawn_thread(proc, compute_gen(40))
+        kernel.run()
+        total_nv = sum(t.nvcsw for t in proc.threads.values())
+        # ~80 ticks, slice 2 -> dozens of preemptions
+        assert total_nv >= 15
+
+    def test_single_thread_no_nvcsw(self):
+        kernel = SimKernel(generic_node(cores=1))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(50)
+        )
+        kernel.run()
+        assert proc.main_thread.nvcsw == 0
+
+    def test_yield_counts_voluntary(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Compute(2)
+            yield YieldCpu()
+            yield Compute(2)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert proc.main_thread.vcsw == 1
+
+    def test_wakeup_preempts_and_charges_nvcsw(self):
+        """A thread waking from sleep preempts the running thread —
+        the mechanism that gives the ZeroSum-sharing OpenMP thread of
+        Table 3 its non-zero nv_ctx."""
+        kernel = SimKernel(generic_node(cores=1), timeslice=1000)
+
+        def sleeper():
+            for _ in range(5):
+                yield Sleep(10)
+                yield Compute(0.2)
+
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(60)
+        )
+        kernel.spawn_thread(proc, sleeper(), daemon=True)
+        kernel.run()
+        assert proc.main_thread.nvcsw >= 4
+
+
+class TestAffinity:
+    def test_affinity_respected(self):
+        kernel = SimKernel(generic_node(cores=4))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1, 2, 3]), compute_gen(20)
+        )
+        pinned = kernel.spawn_thread(
+            proc, compute_gen(20), affinity=CpuSet([2])
+        )
+        kernel.run()
+        assert set(pinned.cpu_jiffies) == {2}
+
+    def test_empty_affinity_rejected(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(1)
+        )
+        with pytest.raises(SchedulerError):
+            kernel.spawn_thread(proc, compute_gen(1), affinity=CpuSet())
+
+    def test_cpuset_outside_node_rejected(self):
+        kernel = SimKernel(generic_node(cores=2))
+        with pytest.raises(SchedulerError):
+            kernel.spawn_process(
+                kernel.nodes[0], CpuSet([7]), compute_gen(1)
+            )
+
+    def test_set_affinity_moves_running_thread(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(30)
+        )
+        kernel.run(max_ticks=5)
+        kernel.set_affinity(proc.main_thread, CpuSet([1]))
+        kernel.run()
+        assert proc.main_thread.affinity == CpuSet([1])
+        late = {c for c, j in proc.main_thread.cpu_jiffies.items()}
+        assert 1 in late
+
+    def test_set_affinity_empty_rejected(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(1)
+        )
+        with pytest.raises(SchedulerError):
+            kernel.set_affinity(proc.main_thread, CpuSet())
+
+
+class TestLoadBalancing:
+    def test_unbound_threads_spread(self):
+        kernel = SimKernel(generic_node(cores=4))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1, 2, 3]), compute_gen(100)
+        )
+        threads = [kernel.spawn_thread(proc, compute_gen(100)) for _ in range(3)]
+        kernel.run()
+        used = set()
+        for t in [proc.main_thread, *threads]:
+            used |= set(t.cpu_jiffies)
+        assert used == {0, 1, 2, 3}
+
+    def test_migration_counted(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(60)
+        )
+        w = kernel.spawn_thread(proc, compute_gen(60))
+        kernel.run()
+        # the stolen thread moved off its fork CPU at least once
+        assert w.migrations + proc.main_thread.migrations >= 1
+
+    def test_pinned_thread_never_migrates(self):
+        kernel = SimKernel(generic_node(cores=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(30)
+        )
+        pinned = kernel.spawn_thread(proc, compute_gen(30), affinity=CpuSet([0]))
+        kernel.run()
+        assert pinned.migrations == 0
+
+
+class TestEventsAndDeadlock:
+    def test_event_wakes_waiter(self):
+        kernel = SimKernel(generic_node(cores=2))
+        event = Event("go")
+
+        def waiter():
+            yield Wait(event)
+            yield Compute(5)
+
+        def setter():
+            yield Compute(10)
+            yield Call(lambda k, l: event.set(k))
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0, 1]), waiter())
+        kernel.spawn_thread(proc, setter())
+        ticks = kernel.run()
+        assert 14 <= ticks <= 20
+
+    def test_barrier_synchronizes(self):
+        kernel = SimKernel(generic_node(cores=2))
+        barrier = Barrier(2)
+        log = []
+
+        def party(n, work):
+            def gen():
+                yield Compute(work)
+                blocked = yield Call(lambda k, l: barrier.arrive(k, l))
+                if blocked:
+                    yield Wait(barrier)
+                log.append((n, (yield Call(lambda k, l: k.now))))
+
+            return gen()
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0, 1]), party(0, 5))
+        kernel.spawn_thread(proc, party(1, 25))
+        kernel.run()
+        # both passed the barrier at (nearly) the same time
+        assert abs(log[0][1] - log[1][1]) <= 1
+
+    def test_true_deadlock_raises(self):
+        kernel = SimKernel(generic_node(cores=1))
+        never = Event("never")
+
+        def gen():
+            yield Wait(never)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_deadlock_no_raise_mode(self):
+        kernel = SimKernel(generic_node(cores=1))
+        never = Event("never")
+
+        def gen():
+            yield Wait(never)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        ticks = kernel.run(raise_on_stall=False)
+        assert ticks <= 2
+
+    def test_daemon_threads_do_not_keep_alive(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def forever():
+            while True:
+                yield Sleep(10)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), compute_gen(10))
+        kernel.spawn_thread(proc, forever(), daemon=True)
+        ticks = kernel.run(max_ticks=1000)
+        assert ticks <= 12
+
+
+class TestCrash:
+    def test_app_exception_kills_process(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Compute(5)
+            raise ValueError("boom")
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert proc.exit_code == 139
+        assert len(kernel.crashes) == 1
+        assert isinstance(kernel.crashes[0][2], ValueError)
+
+    def test_crash_hook_invoked(self):
+        kernel = SimKernel(generic_node(cores=1))
+        seen = []
+        kernel.on_crash.append(lambda k, lwp, exc: seen.append(str(exc)))
+
+        def gen():
+            yield Compute(1)
+            raise RuntimeError("segv")
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert seen == ["segv"]
+
+
+class TestDirectiveValidation:
+    def test_runaway_instants_rejected(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            while True:
+                yield Call(lambda k, l: None)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        with pytest.raises(SchedulerError):
+            kernel.run(max_ticks=5)
+
+    def test_unknown_directive_rejected(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield "not a directive"
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        with pytest.raises(SchedulerError):
+            kernel.run(max_ticks=5)
+
+    def test_call_result_sent_back(self):
+        kernel = SimKernel(generic_node(cores=1))
+        got = []
+
+        def gen():
+            value = yield Call(lambda k, l: 42)
+            got.append(value)
+            yield Compute(1)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run()
+        assert got == [42]
+
+    def test_timer_in_past_rejected(self):
+        kernel = SimKernel(generic_node(cores=1))
+        kernel.clock.advance(10)
+        with pytest.raises(SchedulerError):
+            kernel.call_at(5, lambda k: None)
+
+    def test_bad_timeslice_rejected(self):
+        with pytest.raises(SchedulerError):
+            SimKernel(generic_node(cores=1), timeslice=0)
+
+
+class TestThreadStates:
+    def test_states_transition(self):
+        kernel = SimKernel(generic_node(cores=1))
+
+        def gen():
+            yield Compute(2)
+            yield Sleep(10)
+            yield Compute(2)
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        main = proc.main_thread
+        assert main.state is ThreadState.RUNNING
+        kernel.run(max_ticks=5)
+        assert main.state is ThreadState.SLEEPING
+        kernel.run()
+        assert main.state is ThreadState.DEAD
+        assert main.exit_tick is not None
+
+    def test_disk_wait_state(self):
+        kernel = SimKernel(generic_node(cores=1))
+        ev = Event()
+
+        def gen():
+            yield Wait(ev, state="D")
+
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
+        kernel.run(max_ticks=2, raise_on_stall=False)
+        assert proc.main_thread.state is ThreadState.DISK

@@ -1,0 +1,87 @@
+"""SMT throughput-sharing model tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.kernel import Compute, SimKernel
+from repro.topology import CpuSet, generic_node
+
+
+def compute_gen(jiffies):
+    def gen():
+        yield Compute(jiffies)
+
+    return gen()
+
+
+class TestSmtEfficiency:
+    def test_default_lanes_independent(self):
+        kernel = SimKernel(generic_node(cores=1, smt=2))
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(50)
+        )
+        kernel.spawn_thread(proc, compute_gen(50), affinity=CpuSet([1]))
+        kernel.set_affinity(proc.main_thread, CpuSet([0]))
+        ticks = kernel.run()
+        assert ticks <= 52  # no sharing penalty
+
+    def test_shared_core_slows_both_lanes(self):
+        kernel = SimKernel(generic_node(cores=1, smt=2), smt_efficiency=0.8)
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1]), compute_gen(50)
+        )
+        kernel.set_affinity(proc.main_thread, CpuSet([0]))
+        kernel.spawn_thread(proc, compute_gen(50), affinity=CpuSet([1]))
+        ticks = kernel.run()
+        # 50 jiffies of work at 0.8 retirement rate ~ 62 wall ticks
+        assert 58 <= ticks <= 68
+
+    def test_lone_thread_unaffected_by_smt_model(self):
+        kernel = SimKernel(generic_node(cores=1, smt=2), smt_efficiency=0.8)
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(50)
+        )
+        ticks = kernel.run()
+        assert ticks <= 52
+
+    def test_separate_cores_unaffected(self):
+        kernel = SimKernel(generic_node(cores=2, smt=2), smt_efficiency=0.8)
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(50)
+        )
+        kernel.spawn_thread(proc, compute_gen(50), affinity=CpuSet([1]))
+        ticks = kernel.run()
+        assert ticks <= 53
+
+    def test_occupancy_still_full_jiffies(self):
+        """utime counts lane occupancy, not retired work — exactly what
+        /proc reports on a real SMT system."""
+        kernel = SimKernel(generic_node(cores=1, smt=2), smt_efficiency=0.8)
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0]), compute_gen(40)
+        )
+        t2 = kernel.spawn_thread(proc, compute_gen(40), affinity=CpuSet([1]))
+        ticks = kernel.run()
+        assert proc.main_thread.utime > 40  # occupied longer than the work
+        assert t2.utime > 40
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(SchedulerError):
+            SimKernel(generic_node(cores=1), smt_efficiency=0.3)
+        with pytest.raises(SchedulerError):
+            SimKernel(generic_node(cores=1), smt_efficiency=1.5)
+
+    def test_launch_job_passes_through(self):
+        from repro.launch import SrunOptions, launch_job
+
+        def app(ctx):
+            def main():
+                yield Compute(10)
+
+            return main()
+
+        step = launch_job(
+            generic_node(cores=2), SrunOptions(ntasks=1), app,
+            smt_efficiency=0.9,
+        )
+        assert step.kernel.smt_efficiency == 0.9

@@ -1,0 +1,60 @@
+"""JobStep convenience accessors."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.core.advisor import Advice
+from repro.core.contention import ContentionReport
+from repro.core.heatmap import CommMatrix
+from repro.core.reports import UtilizationReport
+from repro.errors import LaunchError
+from repro.kernel import Compute
+from repro.launch import SrunOptions, launch_job
+from repro.topology import generic_node
+
+T3_CMD = ("OMP_NUM_THREADS=7 OMP_PROC_BIND=spread OMP_PLACES=cores "
+          "srun -n8 -c7 zerosum-mpi miniqmc")
+
+
+class TestAccessors:
+    @pytest.fixture(scope="class")
+    def step(self):
+        return run_miniqmc(T3_CMD, blocks=5, block_jiffies=50)
+
+    def test_monitor(self, step):
+        assert step.monitor(3) is step.monitors[3]
+
+    def test_report(self, step):
+        report = step.report(0)
+        assert isinstance(report, UtilizationReport)
+        assert report.rank == 0
+
+    def test_findings(self, step):
+        findings = step.findings(0)
+        assert isinstance(findings, ContentionReport)
+        assert findings.findings == []
+
+    def test_advice(self, step):
+        advice = step.advice(0)
+        assert isinstance(advice, Advice)
+        assert advice.is_clean
+
+    def test_comm_matrix(self, step):
+        matrix = step.comm_matrix()
+        assert isinstance(matrix, CommMatrix)
+        assert matrix.size == 8
+
+    def test_out_of_range(self, step):
+        with pytest.raises(LaunchError):
+            step.monitor(99)
+
+    def test_unmonitored_job_rejected(self):
+        def app(ctx):
+            def main():
+                yield Compute(2)
+
+            return main()
+
+        step = launch_job([generic_node(cores=2)], SrunOptions(ntasks=1), app)
+        with pytest.raises(LaunchError):
+            step.monitor()

@@ -1,0 +1,79 @@
+"""srun command-line parsing."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.launch import SrunOptions
+
+
+class TestParse:
+    def test_paper_default_command(self):
+        opts = SrunOptions.parse("srun -n8 zerosum-mpi miniqmc")
+        assert opts.ntasks == 8
+        assert opts.cpus_per_task == 1
+        assert opts.command == "zerosum-mpi miniqmc"
+
+    def test_paper_c7_command(self):
+        opts = SrunOptions.parse("srun -n8 -c7 zerosum-mpi miniqmc")
+        assert opts.cpus_per_task == 7
+
+    def test_spaced_flags(self):
+        opts = SrunOptions.parse("srun -n 4 -c 2 app")
+        assert (opts.ntasks, opts.cpus_per_task) == (4, 2)
+
+    def test_long_flags(self):
+        opts = SrunOptions.parse(
+            "srun --ntasks=8 --cpus-per-task=7 --gpus-per-task=1 "
+            "--gpu-bind=closest --threads-per-core=1 miniqmc"
+        )
+        assert opts.ntasks == 8
+        assert opts.gpus_per_task == 1
+        assert opts.gpu_bind == "closest"
+        assert opts.threads_per_core == 1
+
+    def test_env_prefix(self):
+        opts = SrunOptions.parse(
+            "OMP_NUM_THREADS=7 OMP_PROC_BIND=spread srun -n8 app"
+        )
+        assert opts.env == {"OMP_NUM_THREADS": "7", "OMP_PROC_BIND": "spread"}
+
+    def test_no_srun_word_ok(self):
+        opts = SrunOptions.parse("-n2 app")
+        assert opts.ntasks == 2
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(LaunchError):
+            SrunOptions.parse("srun --exclusive app")
+
+    def test_listing2_command_line(self):
+        opts = SrunOptions.parse(
+            "OMP_PROC_BIND=spread OMP_PLACES=cores OMP_NUM_THREADS=4 "
+            "srun -n8 --gpus-per-task=1 --cpus-per-task=7 "
+            "--gpu-bind=closest miniqmc"
+        )
+        assert opts.ntasks == 8
+        assert opts.cpus_per_task == 7
+        assert opts.gpus_per_task == 1
+        assert opts.env["OMP_NUM_THREADS"] == "4"
+
+
+class TestValidation:
+    def test_bad_ntasks(self):
+        with pytest.raises(LaunchError):
+            SrunOptions(ntasks=0)
+
+    def test_bad_cpus(self):
+        with pytest.raises(LaunchError):
+            SrunOptions(cpus_per_task=0)
+
+    def test_bad_gpu_bind(self):
+        with pytest.raises(LaunchError):
+            SrunOptions(gpu_bind="farthest")
+
+    def test_bad_threads_per_core(self):
+        with pytest.raises(LaunchError):
+            SrunOptions(threads_per_core=3)
+
+    def test_negative_gpus(self):
+        with pytest.raises(LaunchError):
+            SrunOptions(gpus_per_task=-1)

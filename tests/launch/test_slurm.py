@@ -1,0 +1,105 @@
+"""Task assignment: cpusets, reserved cores, GPU binding, spill."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.launch import SrunOptions, assign_tasks
+from repro.topology import CpuSet, frontier_node, generic_node, testnode_i7
+
+
+class TestDefaultConfig:
+    def test_one_core_per_task_skips_reserved(self):
+        """Paper §4: default srun -n8 lands rank 0 on core 1 (core 0
+        of each L3 is reserved in Frontier's low-noise mode)."""
+        asg = assign_tasks([frontier_node()], SrunOptions(ntasks=8))
+        assert asg[0].cpuset == CpuSet([1])
+        assert asg[6].cpuset == CpuSet([7])
+        assert asg[7].cpuset == CpuSet([9])  # skips reserved core 8
+
+    def test_c7_gives_l3_regions(self):
+        """srun -n8 -c7: each rank gets the 7 usable cores of one L3."""
+        asg = assign_tasks(
+            [frontier_node()], SrunOptions(ntasks=8, cpus_per_task=7)
+        )
+        assert asg[0].cpuset.to_list() == "1-7"
+        assert asg[1].cpuset.to_list() == "9-15"
+        assert asg[7].cpuset.to_list() == "57-63"
+
+    def test_threads_per_core_2_adds_smt_siblings(self):
+        asg = assign_tasks(
+            [frontier_node()],
+            SrunOptions(ntasks=1, cpus_per_task=7, threads_per_core=2),
+        )
+        assert asg[0].cpuset.to_list() == "1-7,65-71"
+
+    def test_no_reserved_cores_without_low_noise(self):
+        asg = assign_tasks(
+            [frontier_node(low_noise=False)], SrunOptions(ntasks=1)
+        )
+        assert asg[0].cpuset == CpuSet([0])
+
+
+class TestGpuBinding:
+    def test_closest_matches_figure2(self):
+        """NUMA0 ranks get GCD 4 first, NUMA3 ranks get GCD 0."""
+        asg = assign_tasks(
+            [frontier_node()],
+            SrunOptions(ntasks=8, cpus_per_task=7, gpus_per_task=1,
+                        gpu_bind="closest"),
+        )
+        by_rank = {a.rank: a.gpu_physical for a in asg}
+        assert by_rank[0] == (4,)
+        assert by_rank[1] == (5,)
+        assert by_rank[6] == (0,)
+        assert by_rank[7] == (1,)
+
+    def test_all_gpus_distinct(self):
+        asg = assign_tasks(
+            [frontier_node()],
+            SrunOptions(ntasks=8, cpus_per_task=7, gpus_per_task=1,
+                        gpu_bind="closest"),
+        )
+        used = [g for a in asg for g in a.gpu_physical]
+        assert sorted(used) == list(range(8))
+
+    def test_unbound_gpu_assignment(self):
+        asg = assign_tasks(
+            [frontier_node()],
+            SrunOptions(ntasks=2, cpus_per_task=7, gpus_per_task=1),
+        )
+        assert asg[0].gpu_physical == (0,)
+        assert asg[1].gpu_physical == (1,)
+
+    def test_no_gpus_on_node_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_tasks([testnode_i7()], SrunOptions(ntasks=1, gpus_per_task=1))
+
+    def test_too_many_gpu_requests_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_tasks(
+                [generic_node(cores=8, gpus=2)],
+                SrunOptions(ntasks=4, cpus_per_task=1, gpus_per_task=1),
+            )
+
+
+class TestMultiNode:
+    def test_spill_to_second_node(self):
+        nodes = [generic_node(cores=4, name="n0"), generic_node(cores=4, name="n1")]
+        asg = assign_tasks(nodes, SrunOptions(ntasks=6, cpus_per_task=1))
+        assert [a.node_index for a in asg] == [0, 0, 0, 0, 1, 1]
+
+    def test_insufficient_capacity_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_tasks(
+                [generic_node(cores=4)], SrunOptions(ntasks=5, cpus_per_task=1)
+            )
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_tasks([], SrunOptions(ntasks=1))
+
+    def test_rank_order_is_block(self):
+        nodes = [generic_node(cores=2, name="a"), generic_node(cores=2, name="b")]
+        asg = assign_tasks(nodes, SrunOptions(ntasks=4))
+        assert [a.rank for a in asg] == [0, 1, 2, 3]
+        assert asg[0].node_index == 0 and asg[3].node_index == 1

@@ -1,0 +1,122 @@
+"""Live monitor on the real host /proc (Linux container)."""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.core import ZeroSumConfig
+from repro.errors import MonitorError, ProcFSError
+from repro.live import (
+    LiveZeroSum,
+    list_tasks,
+    read_cpu_times,
+    read_meminfo,
+    read_task,
+    read_uptime_seconds,
+)
+
+needs_proc = pytest.mark.skipif(
+    not pathlib.Path("/proc/self/stat").exists(), reason="needs Linux /proc"
+)
+
+
+@needs_proc
+class TestSampler:
+    def test_list_tasks_includes_self(self):
+        import os
+
+        tids = list_tasks("self")
+        assert os.getpid() in tids
+
+    def test_read_task(self):
+        import os
+
+        pid = os.getpid()
+        stat, status = read_task(pid, pid)
+        assert stat.pid == pid
+        assert status.tgid == pid
+
+    def test_unknown_process(self):
+        with pytest.raises(ProcFSError):
+            list_tasks(2**22 + 12345)
+
+    def test_cpu_times(self):
+        times = read_cpu_times()
+        assert -1 in times and 0 in times
+
+    def test_meminfo(self):
+        assert read_meminfo()["MemTotal"] > 0
+
+    def test_uptime(self):
+        assert read_uptime_seconds() > 0
+
+
+@needs_proc
+class TestLiveMonitor:
+    def _burn(self, seconds):
+        deadline = time.monotonic() + seconds
+        x = 0
+        while time.monotonic() < deadline:
+            x += sum(i for i in range(500))
+        return x
+
+    def test_full_cycle(self):
+        zs = LiveZeroSum(ZeroSumConfig(period_seconds=0.1))
+        zs.start()
+        self._burn(0.5)
+        zs.stop()
+        assert zs.samples_taken >= 3
+        report = zs.report()
+        main = [r for r in report.lwp_rows if r.kind == "Main"]
+        assert main and main[0].utime_pct > 30.0
+        assert report.pid == zs.pid
+
+    def test_monitor_thread_classified(self):
+        zs = LiveZeroSum(ZeroSumConfig(period_seconds=0.05))
+        zs.start()
+        self._burn(0.25)
+        zs.stop()
+        kinds = {r.kind for r in zs.report().lwp_rows}
+        assert "ZeroSum" in kinds
+
+    def test_double_start_rejected(self):
+        zs = LiveZeroSum(ZeroSumConfig(period_seconds=0.5))
+        zs.start()
+        try:
+            with pytest.raises(MonitorError):
+                zs.start()
+        finally:
+            zs.stop()
+
+    def test_sample_once_without_thread(self):
+        zs = LiveZeroSum()
+        zs.sample_once()
+        assert zs.samples_taken == 1
+        assert zs.pid in zs.lwp_series
+
+    def test_hwt_series_collected(self):
+        zs = LiveZeroSum(ZeroSumConfig(period_seconds=0.05))
+        zs.start()
+        self._burn(0.3)
+        zs.stop()
+        assert zs.hwt_series
+        report = zs.report()
+        assert report.hwt_rows
+        row = report.hwt_rows[0]
+        assert row.idle_pct + row.system_pct + row.user_pct == pytest.approx(
+            100.0, abs=25.0
+        )
+
+    def test_memory_series(self):
+        zs = LiveZeroSum()
+        zs.sample_once()
+        assert zs.mem_series.last("mem_total_kib") > 0
+        assert zs.mem_series.last("rss_kib") > 0
+
+    def test_render(self):
+        zs = LiveZeroSum()
+        zs.sample_once()
+        zs.end_time = time.monotonic()
+        text = zs.report().render()
+        assert "LWP (thread) Summary:" in text

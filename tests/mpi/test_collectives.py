@@ -1,0 +1,181 @@
+"""Collective operations over the simulated communicator."""
+
+import pytest
+
+from repro.kernel import Call, Compute, SimKernel
+from repro.mpi import MpiJob
+from repro.topology import CpuSet, generic_node
+
+
+def run_collective(nranks, body):
+    """Spawn nranks ranks whose behavior is body(rank, comm); collect results."""
+    kernel = SimKernel(generic_node(cores=nranks))
+    job = MpiJob(kernel)
+    results = {}
+    comms = {}
+
+    def factory(r):
+        def gen():
+            out = yield from body(r, comms[r])
+            results[r] = out
+
+        return gen()
+
+    for r in range(nranks):
+        proc = kernel.spawn_process(kernel.nodes[0], CpuSet([r]), factory(r))
+        comms[r] = job.add_rank(r, proc)
+    job.finalize_ranks()
+    kernel.run()
+    assert not job._coll_states, "collective state leaked"
+    return results
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        times = {}
+
+        def body(r, comm):
+            yield Compute(5 * (r + 1))
+            yield from comm.barrier()
+            times[r] = yield Call(lambda k, l: k.now)
+            return None
+
+        run_collective(3, body)
+        assert max(times.values()) - min(times.values()) <= 1
+
+    def test_repeated_barriers(self):
+        def body(r, comm):
+            for _ in range(5):
+                yield from comm.barrier()
+            return "ok"
+
+        results = run_collective(2, body)
+        assert set(results.values()) == {"ok"}
+
+
+class TestBcast:
+    def test_root_value_broadcast(self):
+        def body(r, comm):
+            value = yield from comm.bcast("payload" if r == 0 else None, root=0)
+            return value
+
+        results = run_collective(4, body)
+        assert all(v == "payload" for v in results.values())
+
+    def test_nonzero_root(self):
+        def body(r, comm):
+            value = yield from comm.bcast(r if r == 2 else None, root=2)
+            return value
+
+        results = run_collective(3, body)
+        assert all(v == 2 for v in results.values())
+
+
+class TestGatherScatter:
+    def test_gather_to_root(self):
+        def body(r, comm):
+            out = yield from comm.gather(r * r, root=0)
+            return out
+
+        results = run_collective(4, body)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def body(r, comm):
+            out = yield from comm.allgather(chr(ord("a") + r))
+            return out
+
+        results = run_collective(3, body)
+        assert all(v == ["a", "b", "c"] for v in results.values())
+
+    def test_scatter(self):
+        def body(r, comm):
+            out = yield from comm.scatter(
+                [10, 20, 30] if r == 0 else None, root=0
+            )
+            return out
+
+        results = run_collective(3, body)
+        assert results == {0: 10, 1: 20, 2: 30}
+
+    def test_scatter_wrong_length_raises(self):
+        from repro.errors import MpiError
+
+        caught = {}
+
+        def body(r, comm):
+            try:
+                yield from comm.scatter([1] if r == 0 else None, root=0)
+            except MpiError:
+                caught[r] = True
+                # unblock peers
+                return None
+            return None
+
+        kernel = SimKernel(generic_node(cores=2))
+        job = MpiJob(kernel)
+        comms = {}
+
+        def factory(r):
+            def gen():
+                yield from body(r, comms[r])
+
+            return gen()
+
+        for r in range(2):
+            proc = kernel.spawn_process(kernel.nodes[0], CpuSet([r]), factory(r))
+            comms[r] = job.add_rank(r, proc)
+        job.finalize_ranks()
+        kernel.run(raise_on_stall=False)
+        assert caught
+
+
+class TestReductions:
+    def test_allreduce_sum(self):
+        def body(r, comm):
+            out = yield from comm.allreduce(float(r))
+            return out
+
+        results = run_collective(4, body)
+        assert all(v == 6.0 for v in results.values())
+
+    def test_allreduce_custom_op(self):
+        def body(r, comm):
+            out = yield from comm.allreduce(r, op=max)
+            return out
+
+        results = run_collective(5, body)
+        assert all(v == 4 for v in results.values())
+
+    def test_reduce_only_root_gets_value(self):
+        def body(r, comm):
+            out = yield from comm.reduce(r + 1, root=1)
+            return out
+
+        results = run_collective(3, body)
+        assert results[1] == 6
+        assert results[0] is None and results[2] is None
+
+    def test_collectives_not_counted_as_p2p(self):
+        from repro.mpi import P2PRecorder
+
+        kernel = SimKernel(generic_node(cores=2))
+        job = MpiJob(kernel)
+        rec = P2PRecorder(2)
+        comms = {}
+
+        def factory(r):
+            def gen():
+                yield from comms[r].allreduce(r)
+                yield from comms[r].barrier()
+
+            return gen()
+
+        for r in range(2):
+            proc = kernel.spawn_process(kernel.nodes[0], CpuSet([r]), factory(r))
+            comms[r] = job.add_rank(r, proc)
+            rec.attach(comms[r])
+        job.finalize_ranks()
+        kernel.run()
+        assert rec.total_bytes() == 0

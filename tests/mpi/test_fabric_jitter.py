@@ -1,0 +1,73 @@
+"""Variable network latency (§2's noisy-network failure mode)."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.kernel import SimKernel
+from repro.mpi import Fabric, MpiJob
+from repro.topology import CpuSet, generic_node
+
+
+def run_pingpong(fabric, rounds=20, nbytes=10 * 1024**2):
+    kernel = SimKernel([generic_node(cores=1, name="a"),
+                        generic_node(cores=1, name="b")])
+    job = MpiJob(kernel, fabric=fabric)
+    comms = {}
+    arrivals = []
+
+    def factory(r):
+        def gen():
+            from repro.kernel import Call
+
+            comm = comms[r]
+            for it in range(rounds):
+                if r == 0:
+                    yield from comm.send(b"", dest=1, tag=it, nbytes=nbytes)
+                    yield from comm.recv(source=1, tag=it)
+                else:
+                    yield from comm.recv(source=0, tag=it)
+                    arrivals.append((yield Call(lambda k, l: k.now)))
+                    yield from comm.send(b"", dest=0, tag=it, nbytes=nbytes)
+
+        return gen()
+
+    for r in range(2):
+        proc = kernel.spawn_process(kernel.nodes[r], CpuSet([0]), factory(r))
+        comms[r] = job.add_rank(r, proc)
+    job.finalize_ranks()
+    kernel.run(max_ticks=200_000)
+    import numpy as np
+
+    return np.diff(arrivals)
+
+
+class TestFabricJitter:
+    def test_no_jitter_is_regular(self):
+        gaps = run_pingpong(Fabric(remote_bandwidth=1e6))
+        assert gaps.std() <= 1.0
+
+    def test_jitter_makes_latency_variable(self):
+        gaps = run_pingpong(Fabric(remote_bandwidth=1e6, jitter=0.5, seed=7))
+        assert gaps.std() > 1.0
+        assert gaps.min() != gaps.max()
+
+    def test_jitter_deterministic_per_seed(self):
+        a = run_pingpong(Fabric(remote_bandwidth=1e6, jitter=0.4, seed=3))
+        b = run_pingpong(Fabric(remote_bandwidth=1e6, jitter=0.4, seed=3))
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = run_pingpong(Fabric(remote_bandwidth=1e6, jitter=0.4, seed=3))
+        b = run_pingpong(Fabric(remote_bandwidth=1e6, jitter=0.4, seed=4))
+        assert (a != b).any()
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(MpiError):
+            Fabric(jitter=-0.1)
+
+    def test_slow_network_shows_as_idle_time(self):
+        """The monitoring story: ranks on a jittery slow fabric sit
+        blocked, visible as low thread utilization."""
+        fast = run_pingpong(Fabric(remote_bandwidth=1e9))
+        slow = run_pingpong(Fabric(remote_bandwidth=5e5, jitter=0.3, seed=1))
+        assert slow.mean() > 4 * fast.mean()

@@ -1,0 +1,140 @@
+"""OMP_PLACES parsing and OMP_PROC_BIND distribution tests."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.openmp import assign_places, make_places, parse_places
+from repro.topology import CpuSet, frontier_node, testnode_i7
+
+
+class TestParsePlaces:
+    def test_keywords(self):
+        for kw in ("threads", "cores", "sockets"):
+            assert parse_places(kw) == kw
+
+    def test_explicit_singletons(self):
+        places = parse_places("{1},{3},{5}")
+        assert places == [CpuSet([1]), CpuSet([3]), CpuSet([5])]
+
+    def test_interval_syntax(self):
+        places = parse_places("{0:4}")
+        assert places == [CpuSet([0, 1, 2, 3])]
+
+    def test_interval_with_stride(self):
+        places = parse_places("{0:4:2}")
+        assert places == [CpuSet([0, 2, 4, 6])]
+
+    def test_mixed_members(self):
+        places = parse_places("{0,2},{1,3}")
+        assert places == [CpuSet([0, 2]), CpuSet([1, 3])]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LaunchError):
+            parse_places("banana")
+        with pytest.raises(LaunchError):
+            parse_places("{a}")
+        with pytest.raises(LaunchError):
+            parse_places("{}")
+
+
+class TestMakePlaces:
+    def test_default_is_whole_cpuset(self):
+        m = testnode_i7()
+        cpuset = CpuSet([0, 1, 2, 3])
+        assert make_places(m, cpuset, None) == [cpuset]
+
+    def test_threads(self):
+        m = testnode_i7()
+        places = make_places(m, CpuSet([0, 1]), "threads")
+        assert places == [CpuSet([0]), CpuSet([1])]
+
+    def test_cores_groups_smt_siblings(self):
+        m = testnode_i7()
+        places = make_places(m, m.cpuset(), "cores")
+        assert CpuSet([0, 4]) in places
+        assert len(places) == 4
+
+    def test_cores_clipped_to_cpuset(self):
+        """Frontier with threads-per-core=1: core places are singletons."""
+        m = frontier_node()
+        cpuset = CpuSet.from_list("1-7")
+        places = make_places(m, cpuset, "cores")
+        assert places == [CpuSet([c]) for c in range(1, 8)]
+
+    def test_sockets(self):
+        m = testnode_i7()
+        places = make_places(m, m.cpuset(), "sockets")
+        assert len(places) == 1
+
+    def test_numa_domains(self):
+        m = frontier_node()
+        places = make_places(m, m.cpuset(), "numa_domains")
+        assert len(places) == 4
+
+    def test_explicit_clipped(self):
+        m = testnode_i7()
+        places = make_places(m, CpuSet([0, 1]), "{0},{1},{6}")
+        assert places == [CpuSet([0]), CpuSet([1])]
+
+    def test_fully_outside_rejected(self):
+        m = testnode_i7()
+        with pytest.raises(LaunchError):
+            make_places(m, CpuSet([0]), "{5},{6}")
+
+
+class TestAssignPlaces:
+    PLACES = [CpuSet([c]) for c in range(1, 8)]
+
+    def test_false_unbinds(self):
+        affs = assign_places(self.PLACES, 4, "false")
+        union = CpuSet.from_list("1-7")
+        assert all(a == union for a in affs)
+
+    def test_none_policy_means_false(self):
+        affs = assign_places(self.PLACES, 2, None)
+        assert affs[0] == CpuSet.from_list("1-7")
+
+    def test_master(self):
+        affs = assign_places(self.PLACES, 3, "master")
+        assert all(a == CpuSet([1]) for a in affs)
+
+    def test_close_consecutive(self):
+        affs = assign_places(self.PLACES, 4, "close")
+        assert affs == [CpuSet([1]), CpuSet([2]), CpuSet([3]), CpuSet([4])]
+
+    def test_close_wraps_when_oversubscribed(self):
+        affs = assign_places(self.PLACES, 9, "close")
+        assert affs[7] == CpuSet([1])
+        assert affs[8] == CpuSet([2])
+
+    def test_spread_equal_counts(self):
+        """7 threads over 7 core-places: one per core (Table 3)."""
+        affs = assign_places(self.PLACES, 7, "spread")
+        assert affs == self.PLACES
+
+    def test_spread_four_over_seven_matches_listing2(self):
+        """Listing 2: 4 threads, spread, cores 1-7 -> cores 1, 3, 5, 7."""
+        affs = assign_places(self.PLACES, 4, "spread")
+        assert affs == [CpuSet([1]), CpuSet([3]), CpuSet([5]), CpuSet([7])]
+
+    def test_spread_oversubscribed(self):
+        affs = assign_places(self.PLACES, 14, "spread")
+        assert len(affs) == 14
+        assert affs[0] == CpuSet([1]) and affs[13] == CpuSet([7])
+
+    def test_true_is_close(self):
+        assert assign_places(self.PLACES, 3, "true") == assign_places(
+            self.PLACES, 3, "close"
+        )
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_places(self.PLACES, 2, "sideways")
+
+    def test_empty_places_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_places([], 2, "close")
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(LaunchError):
+            assign_places(self.PLACES, 0, "close")

@@ -1,0 +1,125 @@
+"""ProcFS facade: path resolution, aliases, errors, round-trips."""
+
+import pytest
+
+from repro.errors import ProcFSError
+from repro.kernel import Compute, SimKernel, Sleep
+from repro.procfs import ProcFS, parse_pid_stat, parse_pid_status
+from repro.topology import CpuSet, generic_node
+
+
+@pytest.fixture
+def world():
+    kernel = SimKernel(generic_node(cores=2))
+
+    def gen():
+        yield Compute(10, user_frac=0.9)
+        yield Sleep(5)
+        yield Compute(5)
+
+    proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0, 1]), gen(), command="demo")
+
+    def worker():
+        yield Compute(8)
+
+    thread = kernel.spawn_thread(proc, worker(), name="w")
+    kernel.run(max_ticks=4)  # stop mid-run so threads are alive
+    fs = ProcFS(kernel, kernel.nodes[0], self_pid=proc.pid)
+    return kernel, proc, thread, fs
+
+
+class TestRead:
+    def test_proc_stat(self, world):
+        _, _, _, fs = world
+        assert fs.read("/proc/stat").startswith("cpu  ")
+
+    def test_meminfo(self, world):
+        _, _, _, fs = world
+        assert "MemTotal" in fs.read("/proc/meminfo")
+
+    def test_uptime(self, world):
+        kernel, _, _, fs = world
+        up, _idle = fs.read("/proc/uptime").split()
+        assert float(up) == pytest.approx(kernel.now / 100, abs=0.02)
+
+    def test_pid_stat(self, world):
+        _, proc, _, fs = world
+        stat = parse_pid_stat(fs.read(f"/proc/{proc.pid}/stat"))
+        assert stat.pid == proc.pid
+
+    def test_self_alias(self, world):
+        _, proc, _, fs = world
+        stat = parse_pid_stat(fs.read("/proc/self/stat"))
+        assert stat.pid == proc.pid
+
+    def test_self_without_pid_rejected(self, world):
+        kernel, _, _, _ = world
+        fs = ProcFS(kernel, kernel.nodes[0])
+        with pytest.raises(ProcFSError):
+            fs.read("/proc/self/stat")
+
+    def test_task_stat(self, world):
+        _, proc, thread, fs = world
+        stat = parse_pid_stat(
+            fs.read(f"/proc/{proc.pid}/task/{thread.tid}/stat")
+        )
+        assert stat.pid == thread.tid
+
+    def test_task_status(self, world):
+        _, proc, thread, fs = world
+        st = parse_pid_status(
+            fs.read(f"/proc/{proc.pid}/task/{thread.tid}/status")
+        )
+        assert st.pid == thread.tid
+        assert st.tgid == proc.pid
+
+    def test_tid_addressable_directly(self, world):
+        """Linux allows /proc/<tid> for any thread."""
+        _, _, thread, fs = world
+        stat = parse_pid_stat(fs.read(f"/proc/{thread.tid}/stat"))
+        assert stat.pid == thread.tid
+
+    def test_cmdline(self, world):
+        _, proc, _, fs = world
+        assert fs.read(f"/proc/{proc.pid}/cmdline") == "demo\x00"
+
+    def test_unknown_paths(self, world):
+        _, proc, _, fs = world
+        for path in ("/proc/nothing", f"/proc/{proc.pid}/bogus",
+                     "/proc/99999/stat", f"/proc/{proc.pid}/task/4/stat",
+                     "/sys/devices"):
+            with pytest.raises(ProcFSError):
+                fs.read(path)
+
+    def test_directory_read_rejected(self, world):
+        _, proc, _, fs = world
+        with pytest.raises(ProcFSError):
+            fs.read(f"/proc/{proc.pid}/task")
+
+
+class TestListdir:
+    def test_task_listing(self, world):
+        _, proc, thread, fs = world
+        tids = fs.listdir(f"/proc/{proc.pid}/task")
+        assert str(proc.pid) in tids
+        assert str(thread.tid) in tids
+
+    def test_task_listing_excludes_dead(self, world):
+        kernel, proc, thread, fs = world
+        kernel.run()  # run to completion; threads exit
+        tids = fs.listdir(f"/proc/{proc.pid}/task")
+        assert tids == []
+
+    def test_proc_listing(self, world):
+        _, proc, _, fs = world
+        assert str(proc.pid) in fs.listdir("/proc")
+
+    def test_not_a_directory(self, world):
+        _, _, _, fs = world
+        with pytest.raises(ProcFSError):
+            fs.listdir("/proc/stat")
+
+    def test_unknown_process(self, world):
+        _, _, _, fs = world
+        with pytest.raises(ProcFSError):
+            fs.listdir("/proc/99999/task")

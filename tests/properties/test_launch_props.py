@@ -1,0 +1,103 @@
+"""Property-based launcher invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.launch import SrunOptions, assign_tasks
+from repro.topology import CpuSet, frontier_node, generic_node
+
+
+@st.composite
+def launch_requests(draw):
+    cores = draw(st.sampled_from([4, 8, 16, 64]))
+    smt = draw(st.sampled_from([1, 2]))
+    nodes = draw(st.integers(1, 3))
+    ntasks = draw(st.integers(1, 12))
+    cpus_per_task = draw(st.integers(1, 4))
+    threads_per_core = draw(st.sampled_from([1, 2]))
+    assume(threads_per_core <= smt)
+    machines = [
+        generic_node(cores=cores, smt=smt, name=f"n{i}") for i in range(nodes)
+    ]
+    options = SrunOptions(
+        ntasks=ntasks,
+        cpus_per_task=cpus_per_task,
+        threads_per_core=threads_per_core,
+    )
+    return machines, options
+
+
+class TestAssignmentInvariants:
+    @given(launch_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_every_task_placed_or_error(self, request):
+        machines, options = request
+        try:
+            assignments = assign_tasks(machines, options)
+        except LaunchError:
+            # must genuinely not fit
+            capacity = sum(
+                len(m.cores()) // options.cpus_per_task for m in machines
+            )
+            assert capacity < options.ntasks
+            return
+        assert [a.rank for a in assignments] == list(range(options.ntasks))
+
+    @given(launch_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_cpusets_disjoint_within_node(self, request):
+        machines, options = request
+        try:
+            assignments = assign_tasks(machines, options)
+        except LaunchError:
+            return
+        per_node: dict[int, CpuSet] = {}
+        for a in assignments:
+            seen = per_node.get(a.node_index, CpuSet())
+            assert not seen.overlaps(a.cpuset)
+            per_node[a.node_index] = seen | a.cpuset
+
+    @given(launch_requests())
+    @settings(max_examples=60, deadline=None)
+    def test_cpusets_sized_and_contained(self, request):
+        machines, options = request
+        try:
+            assignments = assign_tasks(machines, options)
+        except LaunchError:
+            return
+        for a in assignments:
+            machine = machines[a.node_index]
+            assert a.cpuset.issubset(machine.cpuset())
+            assert not a.cpuset.overlaps(machine.reserved_cpus)
+            assert len(a.cpuset) == (
+                options.cpus_per_task * options.threads_per_core
+            )
+
+    @given(st.integers(1, 8), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_never_uses_reserved_cores(self, ntasks, cpus):
+        machine = frontier_node()
+        try:
+            assignments = assign_tasks(
+                [machine], SrunOptions(ntasks=ntasks, cpus_per_task=cpus)
+            )
+        except LaunchError:
+            return
+        for a in assignments:
+            assert not a.cpuset.overlaps(machine.reserved_cpus)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_gpu_assignment_distinct(self, ntasks):
+        machine = frontier_node()
+        try:
+            assignments = assign_tasks(
+                [machine],
+                SrunOptions(ntasks=ntasks, cpus_per_task=7, gpus_per_task=1,
+                            gpu_bind="closest"),
+            )
+        except LaunchError:
+            return
+        used = [g for a in assignments for g in a.gpu_physical]
+        assert len(used) == len(set(used))

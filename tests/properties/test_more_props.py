@@ -1,0 +1,115 @@
+"""Property-based tests: procfs round-trips, records, heatmap, places."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommMatrix
+from repro.core.records import SeriesBuffer
+from repro.openmp import assign_places
+from repro.procfs.parsers import parse_meminfo, parse_pid_status
+from repro.topology import CpuSet
+
+
+class TestStatusRoundTrip:
+    @given(
+        st.frozensets(st.integers(0, 127), min_size=1, max_size=30),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_status_fields_roundtrip(self, cpus, vcsw, nvcsw):
+        cs = CpuSet(cpus)
+        text = (
+            "Name:\tapp\nState:\tR (running)\nTgid:\t7\nPid:\t7\n"
+            f"VmSize:\t10 kB\nVmRSS:\t5 kB\nThreads:\t1\n"
+            f"Cpus_allowed:\t{cs.to_mask()}\n"
+            f"Cpus_allowed_list:\t{cs.to_list()}\n"
+            f"voluntary_ctxt_switches:\t{vcsw}\n"
+            f"nonvoluntary_ctxt_switches:\t{nvcsw}\n"
+        )
+        parsed = parse_pid_status(text)
+        assert parsed.cpus_allowed == cs
+        assert parsed.voluntary_ctxt_switches == vcsw
+        assert parsed.nonvoluntary_ctxt_switches == nvcsw
+
+    @given(st.dictionaries(
+        st.sampled_from(["MemTotal", "MemFree", "MemAvailable", "Cached"]),
+        st.integers(0, 2**40),
+        min_size=1,
+    ))
+    def test_meminfo_roundtrip(self, fields):
+        fields.setdefault("MemTotal", 1)
+        text = "".join(f"{k}:\t{v} kB\n" for k, v in fields.items())
+        assert parse_meminfo(text) == fields
+
+
+class TestSeriesBufferProps:
+    @given(st.lists(st.tuples(st.floats(-1e9, 1e9), st.floats(-1e9, 1e9)),
+                    min_size=1, max_size=200))
+    def test_append_preserves_rows(self, rows):
+        s = SeriesBuffer(("a", "b"), capacity=1)
+        for row in rows:
+            s.append(row)
+        assert len(s) == len(rows)
+        assert np.allclose(s.array, np.asarray(rows))
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+    def test_deltas_sum_to_last(self, values):
+        cumulative = np.cumsum(values)
+        s = SeriesBuffer(("c",))
+        for v in cumulative:
+            s.append((v,))
+        assert float(s.deltas("c").sum()) == pytest.approx(
+            float(cumulative[-1]), rel=1e-9, abs=1e-6
+        )
+
+
+class TestCommMatrixProps:
+    @given(st.integers(2, 40), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_binned_conserves_total(self, n, data):
+        m = CommMatrix.zeros(n)
+        entries = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                      st.integers(1, 10**9)),
+            max_size=30,
+        ))
+        for i, j, b in entries:
+            m.bytes[i, j] += b
+        bins = data.draw(st.integers(1, n))
+        assert m.binned(bins).sum() == m.total_bytes()
+
+    @given(st.integers(2, 30))
+    def test_diagonal_dominance_bounds(self, n):
+        m = CommMatrix.zeros(n)
+        m.bytes[0, 1] = 100
+        m.bytes[0, (n // 2) or 1] += 50
+        d = m.diagonal_dominance(band=1)
+        assert 0.0 <= d <= 1.0
+
+
+class TestAssignPlacesProps:
+    @given(st.integers(1, 16), st.integers(1, 32),
+           st.sampled_from(["false", "master", "close", "spread"]))
+    def test_every_thread_gets_nonempty_place(self, nplaces, nthreads, policy):
+        places = [CpuSet([i]) for i in range(nplaces)]
+        affs = assign_places(places, nthreads, policy)
+        assert len(affs) == nthreads
+        assert all(len(a) >= 1 for a in affs)
+
+    @given(st.integers(1, 16), st.integers(1, 16))
+    def test_spread_uses_distinct_places_when_possible(self, nplaces, nthreads):
+        places = [CpuSet([i]) for i in range(nplaces)]
+        affs = assign_places(places, nthreads, "spread")
+        if nthreads <= nplaces:
+            assert len({a.first() for a in affs}) == nthreads
+
+    @given(st.integers(1, 16), st.integers(1, 64))
+    def test_close_wraps_evenly(self, nplaces, nthreads):
+        places = [CpuSet([i]) for i in range(nplaces)]
+        affs = assign_places(places, nthreads, "close")
+        counts = {}
+        for a in affs:
+            counts[a.first()] = counts.get(a.first(), 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1

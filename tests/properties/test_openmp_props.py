@@ -1,0 +1,88 @@
+"""Property-based OpenMP runtime invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Compute, SimKernel
+from repro.openmp import OpenMPRuntime
+from repro.topology import CpuSet, generic_node
+
+
+def run_team(cores, team, policy, places, regions, work):
+    kernel = SimKernel(generic_node(cores=cores))
+    env = {"OMP_NUM_THREADS": str(team)}
+    if policy:
+        env["OMP_PROC_BIND"] = policy
+    if places:
+        env["OMP_PLACES"] = places
+    holder = {}
+
+    def region(tn, ts):
+        yield Compute(work, user_frac=0.9)
+
+    def main():
+        omp = holder["omp"]
+        for _ in range(regions):
+            yield from omp.parallel(region)
+        yield from omp.shutdown()
+
+    proc = kernel.spawn_process(
+        kernel.nodes[0], CpuSet(range(cores)), main(), env=env
+    )
+    holder["omp"] = OpenMPRuntime(kernel, proc)
+    kernel.run(max_ticks=500_000)
+    return kernel, proc, holder["omp"]
+
+
+@st.composite
+def team_configs(draw):
+    cores = draw(st.sampled_from([2, 4, 8]))
+    team = draw(st.integers(1, 10))
+    policy = draw(st.sampled_from([None, "false", "close", "spread", "master"]))
+    places = draw(st.sampled_from([None, "threads", "cores"]))
+    regions = draw(st.integers(1, 4))
+    work = draw(st.floats(2.0, 25.0))
+    return cores, team, policy, places, regions, work
+
+
+class TestTeamInvariants:
+    @given(team_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, config):
+        cores, team, policy, places, regions, work = config
+        kernel, proc, omp = run_team(cores, team, policy, places, regions, work)
+        total = sum(t.total_jiffies for t in proc.threads.values())
+        assert total == pytest.approx(team * regions * work, rel=1e-6)
+
+    @given(team_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_pool_size(self, config):
+        cores, team, policy, places, regions, work = config
+        kernel, proc, omp = run_team(cores, team, policy, places, regions, work)
+        assert len(omp.workers) == team - 1
+
+    @given(team_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_affinity_within_process_cpuset(self, config):
+        cores, team, policy, places, regions, work = config
+        kernel, proc, omp = run_team(cores, team, policy, places, regions, work)
+        for t in proc.threads.values():
+            assert t.affinity.issubset(proc.cpuset)
+            assert set(t.cpu_jiffies) <= set(t.affinity)
+
+    @given(team_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_regions_complete(self, config):
+        cores, team, policy, places, regions, work = config
+        kernel, proc, omp = run_team(cores, team, policy, places, regions, work)
+        assert proc.exit_code == 0
+        assert not proc.main_thread.alive
+
+    @given(team_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_wall_time_lower_bound(self, config):
+        """Wall time >= serial work of one thread x regions."""
+        cores, team, policy, places, regions, work = config
+        kernel, proc, omp = run_team(cores, team, policy, places, regions, work)
+        assert kernel.now >= regions * work - regions  # slack for rounding

@@ -1,0 +1,151 @@
+"""Property-based scheduler invariants.
+
+Whatever the workload mix, these must hold:
+
+* jiffy conservation — LWP-charged jiffies equal HWT busy jiffies, and
+  per-HWT busy + idle equals elapsed ticks;
+* affinity — a thread only ever executes on allowed CPUs;
+* monotonicity — counters never decrease;
+* determinism — identical inputs give identical outcomes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Compute, SimKernel, Sleep
+from repro.topology import CpuSet, generic_node
+
+
+@st.composite
+def workloads(draw):
+    """A small random workload: threads with compute/sleep phases."""
+    n_threads = draw(st.integers(1, 5))
+    threads = []
+    for _ in range(n_threads):
+        phases = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["compute", "sleep"]),
+                    st.floats(0.5, 20.0),
+                    st.floats(0.0, 1.0),
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        affinity = draw(st.sampled_from([None, [0], [1], [0, 1], [2, 3],
+                                         [0, 1, 2, 3]]))
+        threads.append((phases, affinity))
+    return threads
+
+
+def build_and_run(threads, timeslice=2):
+    kernel = SimKernel(generic_node(cores=4), timeslice=timeslice)
+
+    def behavior(phases):
+        def gen():
+            for kind, amount, frac in phases:
+                if kind == "compute":
+                    yield Compute(amount, user_frac=frac)
+                else:
+                    yield Sleep(max(1, int(amount)))
+
+        return gen()
+
+    proc = kernel.spawn_process(
+        kernel.nodes[0], CpuSet([0, 1, 2, 3]), behavior(threads[0][0]),
+        command="prop",
+    )
+    lwps = [proc.main_thread]
+    for phases, affinity in threads[1:]:
+        lwps.append(
+            kernel.spawn_thread(
+                proc,
+                behavior(phases),
+                affinity=CpuSet(affinity) if affinity else None,
+            )
+        )
+    # main thread ignores its row's affinity (process-wide), fine
+    ticks = kernel.run(max_ticks=50_000)
+    return kernel, proc, lwps, ticks
+
+
+class TestConservation:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_jiffy_conservation(self, threads):
+        kernel, proc, lwps, ticks = build_and_run(threads)
+        lwp_total = sum(t.total_jiffies for t in lwps)
+        hwt_total = sum(h.busy_jiffies for h in kernel.nodes[0].hwts.values())
+        assert lwp_total == pytest.approx(hwt_total, abs=1e-6)
+        expected = sum(
+            amount for phases, _ in threads for kind, amount, _ in phases
+            if kind == "compute"
+        )
+        assert lwp_total == pytest.approx(expected, abs=1e-6)
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_plus_idle_equals_elapsed(self, threads):
+        kernel, proc, lwps, ticks = build_and_run(threads)
+        now = kernel.now
+        for h in kernel.nodes[0].hwts.values():
+            assert h.busy_jiffies + h.idle_at(now) == pytest.approx(now, abs=1e-6)
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_affinity_never_violated(self, threads):
+        kernel, proc, lwps, ticks = build_and_run(threads)
+        for lwp in lwps:
+            assert set(lwp.cpu_jiffies) <= set(lwp.affinity)
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_all_work_completes(self, threads):
+        kernel, proc, lwps, ticks = build_and_run(threads)
+        assert all(not t.alive for t in lwps)
+        assert proc.exit_code == 0
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, threads):
+        def fingerprint():
+            kernel, proc, lwps, ticks = build_and_run(threads)
+            return (
+                ticks,
+                tuple((t.utime, t.stime, t.vcsw, t.nvcsw) for t in lwps),
+            )
+
+        assert fingerprint() == fingerprint()
+
+    @given(workloads(), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_timeslice_does_not_change_total_work(self, threads, timeslice):
+        _, _, lwps, _ = build_and_run(threads, timeslice=timeslice)
+        total = sum(t.total_jiffies for t in lwps)
+        _, _, lwps2, _ = build_and_run(threads, timeslice=3)
+        assert total == pytest.approx(sum(t.total_jiffies for t in lwps2))
+
+
+class TestSerializationBound:
+    @given(st.lists(st.floats(1.0, 30.0), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_wall_time_bounds(self, works):
+        """Wall time is at least max(work) and at most sum(work)+slack."""
+        kernel = SimKernel(generic_node(cores=4))
+
+        def gen(j):
+            def g():
+                yield Compute(j)
+
+            return g()
+
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([0, 1, 2, 3]), gen(works[0])
+        )
+        for j in works[1:]:
+            kernel.spawn_thread(proc, gen(j))
+        ticks = kernel.run(max_ticks=100_000)
+        assert ticks >= max(works) - 1
+        assert ticks <= sum(works) + 10

@@ -1,0 +1,76 @@
+"""Error hierarchy and public API surface sanity."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_inherit_base(self):
+        for name in ("TopologyError", "CpuSetError", "ProcFSError",
+                     "SchedulerError", "DeadlockError", "OutOfMemoryError",
+                     "GpuError", "MpiError", "LaunchError", "MonitorError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LaunchError("nope")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports(self):
+        import repro.analysis
+        import repro.apps
+        import repro.core
+        import repro.gpu
+        import repro.kernel
+        import repro.launch
+        import repro.live
+        import repro.mpi
+        import repro.openmp
+        import repro.procfs
+        import repro.topology
+
+        for module in (repro.analysis, repro.apps, repro.core, repro.gpu,
+                       repro.kernel, repro.launch, repro.live, repro.mpi,
+                       repro.openmp, repro.procfs, repro.topology):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_public_items_documented(self):
+        """Every public class, function AND public method carries a
+        docstring, across every subpackage."""
+        import importlib
+        import inspect
+
+        undocumented = []
+        for mod_name in ("repro", "repro.topology", "repro.procfs",
+                         "repro.kernel", "repro.gpu", "repro.openmp",
+                         "repro.mpi", "repro.launch", "repro.apps",
+                         "repro.core", "repro.live", "repro.analysis"):
+            mod = importlib.import_module(mod_name)
+            for name in mod.__all__:
+                obj = getattr(mod, name)
+                if (inspect.isclass(obj) or inspect.isfunction(obj)) and not (
+                    obj.__doc__ or ""
+                ).strip():
+                    undocumented.append(f"{mod_name}.{name}")
+                if inspect.isclass(obj):
+                    for mname, meth in vars(obj).items():
+                        if mname.startswith("_"):
+                            continue
+                        if inspect.isfunction(meth) and not (
+                            meth.__doc__ or ""
+                        ).strip():
+                            undocumented.append(f"{mod_name}.{name}.{mname}")
+        assert sorted(set(undocumented)) == []

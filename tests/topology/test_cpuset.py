@@ -1,0 +1,131 @@
+"""Unit tests for CpuSet list/mask syntax and algebra."""
+
+import pytest
+
+from repro.errors import CpuSetError
+from repro.topology import CpuSet
+
+
+class TestFromList:
+    def test_simple_range(self):
+        assert list(CpuSet.from_list("0-3")) == [0, 1, 2, 3]
+
+    def test_mixed(self):
+        assert list(CpuSet.from_list("1-3,7,9-10")) == [1, 2, 3, 7, 9, 10]
+
+    def test_frontier_style(self):
+        cs = CpuSet.from_list("1-7,9-15,17-23")
+        assert len(cs) == 21
+        assert 8 not in cs and 16 not in cs
+
+    def test_single(self):
+        assert list(CpuSet.from_list("5")) == [5]
+
+    def test_empty(self):
+        assert len(CpuSet.from_list("")) == 0
+        assert not CpuSet.from_list("  ")
+
+    def test_whitespace_tolerated(self):
+        assert list(CpuSet.from_list(" 0-1 , 3 ")) == [0, 1, 3]
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(CpuSetError):
+            CpuSet.from_list("5-3")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CpuSetError):
+            CpuSet.from_list("a-b")
+        with pytest.raises(CpuSetError):
+            CpuSet.from_list("1,,2")
+
+    def test_negative_rejected(self):
+        with pytest.raises(CpuSetError):
+            CpuSet([-1])
+
+
+class TestToList:
+    def test_runs_collapse(self):
+        assert CpuSet([0, 1, 2, 3, 5]).to_list() == "0-3,5"
+
+    def test_singletons(self):
+        assert CpuSet([2, 4, 6]).to_list() == "2,4,6"
+
+    def test_empty(self):
+        assert CpuSet().to_list() == ""
+
+    def test_roundtrip(self):
+        text = "1-7,9-15,17-23,25-31,127"
+        assert CpuSet.from_list(text).to_list() == text
+
+
+class TestMask:
+    def test_simple_mask(self):
+        assert CpuSet([0, 1, 2, 3]).to_mask() == "0000000f"
+
+    def test_multi_word(self):
+        cs = CpuSet([0, 32])
+        assert cs.to_mask() == "00000001,00000001"
+
+    def test_from_mask(self):
+        assert list(CpuSet.from_mask("f0")) == [4, 5, 6, 7]
+
+    def test_from_mask_multiword(self):
+        assert list(CpuSet.from_mask("1,00000001")) == [0, 32]
+
+    def test_mask_roundtrip(self):
+        cs = CpuSet([1, 7, 33, 64, 100])
+        assert CpuSet.from_mask(cs.to_mask()) == cs
+
+    def test_empty_mask(self):
+        assert CpuSet().to_mask() == "00000000"
+        assert CpuSet.from_mask("0") == CpuSet()
+
+    def test_bad_mask(self):
+        with pytest.raises(CpuSetError):
+            CpuSet.from_mask("zz")
+        with pytest.raises(CpuSetError):
+            CpuSet.from_mask("1,,2")
+
+    def test_width_padding(self):
+        assert CpuSet([0]).to_mask(width_words=2) == "00000000,00000001"
+
+
+class TestAlgebra:
+    def test_union_intersection_difference(self):
+        a, b = CpuSet([0, 1, 2]), CpuSet([2, 3])
+        assert (a | b) == CpuSet([0, 1, 2, 3])
+        assert (a & b) == CpuSet([2])
+        assert (a - b) == CpuSet([0, 1])
+
+    def test_overlaps(self):
+        assert CpuSet([1, 2]).overlaps(CpuSet([2, 3]))
+        assert not CpuSet([1]).overlaps(CpuSet([2]))
+
+    def test_issubset(self):
+        assert CpuSet([1, 2]).issubset(CpuSet([0, 1, 2, 3]))
+        assert not CpuSet([4]).issubset(CpuSet([0, 1]))
+
+    def test_accepts_plain_iterables(self):
+        assert (CpuSet([0]) | [1, 2]) == CpuSet([0, 1, 2])
+
+    def test_first_last(self):
+        cs = CpuSet([5, 2, 9])
+        assert cs.first() == 2
+        assert cs.last() == 9
+
+    def test_first_on_empty_raises(self):
+        with pytest.raises(CpuSetError):
+            CpuSet().first()
+        with pytest.raises(CpuSetError):
+            CpuSet().last()
+
+    def test_hash_and_eq(self):
+        assert CpuSet([1, 2]) == CpuSet([2, 1])
+        assert hash(CpuSet([1, 2])) == hash(CpuSet([2, 1]))
+        assert len({CpuSet([1]), CpuSet([1])}) == 1
+
+    def test_dedup(self):
+        assert len(CpuSet([1, 1, 1])) == 1
+
+    def test_indexing(self):
+        assert CpuSet([9, 3, 7])[0] == 3

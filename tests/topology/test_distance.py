@@ -1,0 +1,94 @@
+"""Unit tests for NUMA/GPU distance and closest-GPU selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    CpuSet,
+    closest_gpu,
+    cpu_gpu_distance,
+    frontier_node,
+    generic_node,
+    gpu_affinity_cpuset,
+    numa_distance_matrix,
+    summit_node,
+    testnode_i7,
+)
+
+
+class TestNumaDistance:
+    def test_diagonal_local(self):
+        mat = numa_distance_matrix(frontier_node())
+        assert (np.diag(mat) == 10).all()
+
+    def test_same_package(self):
+        mat = numa_distance_matrix(frontier_node())
+        assert mat[0, 1] == 12  # all four domains share the one package
+
+    def test_cross_package(self):
+        mat = numa_distance_matrix(summit_node())
+        assert mat[0, 1] == 32
+
+    def test_symmetric(self):
+        mat = numa_distance_matrix(frontier_node())
+        assert (mat == mat.T).all()
+
+
+class TestCpuGpuDistance:
+    def test_local(self):
+        m = frontier_node()
+        gcd0 = m.gpu_by_physical(0)  # NUMA 3
+        assert cpu_gpu_distance(m, 49, gcd0) == 10
+
+    def test_remote_same_package(self):
+        m = frontier_node()
+        gcd0 = m.gpu_by_physical(0)
+        assert cpu_gpu_distance(m, 1, gcd0) == 12
+
+    def test_cross_package(self):
+        m = summit_node()
+        gpu5 = m.gpu_by_physical(5)  # socket 1
+        assert cpu_gpu_distance(m, 0, gpu5) == 32
+
+
+class TestClosestGpu:
+    def test_frontier_closest_for_numa3_cores(self):
+        """--gpu-bind=closest from cores 49-55 must pick GCD 0 or 1."""
+        m = frontier_node()
+        g = closest_gpu(m, CpuSet.from_list("49-55"))
+        assert g.physical_index in (0, 1)
+
+    def test_tie_breaks_on_lower_index(self):
+        m = frontier_node()
+        g = closest_gpu(m, CpuSet.from_list("49-55"))
+        assert g.physical_index == 0
+
+    def test_exclusion_gives_distinct_devices(self):
+        m = frontier_node()
+        first = closest_gpu(m, CpuSet.from_list("49-55"))
+        second = closest_gpu(m, CpuSet.from_list("49-55"),
+                             exclude={first.physical_index})
+        assert second.physical_index != first.physical_index
+        assert second.physical_index == 1
+
+    def test_no_gpus_raises(self):
+        with pytest.raises(TopologyError):
+            closest_gpu(testnode_i7(), CpuSet([0]))
+
+    def test_all_excluded_raises(self):
+        m = generic_node(cores=4, gpus=1)
+        with pytest.raises(TopologyError):
+            closest_gpu(m, CpuSet([0]), exclude={0})
+
+
+class TestGpuAffinity:
+    def test_affinity_is_numa_cpuset(self):
+        m = frontier_node()
+        gcd0 = m.gpu_by_physical(0)
+        assert gpu_affinity_cpuset(m, gcd0) == m.numa_cpuset(3)
+
+    def test_single_domain_fallback(self):
+        m = generic_node(cores=4, gpus=1)
+        g = m.gpus[0]
+        assert gpu_affinity_cpuset(m, g) == m.cpuset()

@@ -1,0 +1,84 @@
+"""Listing 1 reproduction: lstopo-style text output."""
+
+from repro.topology import (
+    format_cache_size,
+    frontier_node,
+    render_lstopo,
+    testnode_i7,
+)
+
+# The exact output of Listing 1 of the paper (i7-1165G7 test node).
+LISTING_1 = """\
+HWLOC Node topology:
+Machine L#0
+  Package L#0
+    L3Cache L#0 12MB
+      L2Cache L#0 1280KB
+        L1Cache L#0 48KB
+          Core L#0
+            PU L#0 P#0
+            PU L#1 P#4
+      L2Cache L#1 1280KB
+        L1Cache L#1 48KB
+          Core L#1
+            PU L#2 P#1
+            PU L#3 P#5
+      L2Cache L#2 1280KB
+        L1Cache L#2 48KB
+          Core L#2
+            PU L#4 P#2
+            PU L#5 P#6
+      L2Cache L#3 1280KB
+        L1Cache L#3 48KB
+          Core L#3
+            PU L#6 P#3
+            PU L#7 P#7"""
+
+
+class TestListing1:
+    def test_exact_reproduction(self):
+        assert render_lstopo(testnode_i7()) == LISTING_1
+
+    def test_logical_vs_os_index_divergence(self):
+        """The point of Listing 1: L# of a PU differs from P#."""
+        out = render_lstopo(testnode_i7())
+        assert "PU L#1 P#4" in out
+        assert "PU L#7 P#7" in out
+
+
+class TestRenderOptions:
+    def test_custom_header(self):
+        out = render_lstopo(testnode_i7(), header="TOPO:")
+        assert out.startswith("TOPO:\n")
+
+    def test_numa_shown_on_multi_domain_machines(self):
+        out = render_lstopo(frontier_node())
+        assert "NUMANode" in out
+
+    def test_numa_hidden_on_single_domain(self):
+        assert "NUMANode" not in render_lstopo(testnode_i7())
+
+    def test_numa_forced(self):
+        out = render_lstopo(testnode_i7(), show_numa=True)
+        assert "NUMANode" in out
+
+    def test_gpus_section(self):
+        out = render_lstopo(frontier_node(), show_gpus=True)
+        assert "GPUs:" in out
+        assert "GPU P#0 NUMA#3" in out
+
+    def test_frontier_core_count(self):
+        out = render_lstopo(frontier_node())
+        assert out.count("Core L#") == 64
+        assert out.count("PU L#") == 128
+
+
+class TestCacheSize:
+    def test_megabytes(self):
+        assert format_cache_size(12 * 1024 * 1024) == "12MB"
+
+    def test_kilobytes(self):
+        assert format_cache_size(1280 * 1024) == "1280KB"
+
+    def test_bytes(self):
+        assert format_cache_size(1000) == "1000B"

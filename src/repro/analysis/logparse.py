@@ -48,6 +48,17 @@ class CsvTable:
             raise MonitorError(f"no column {name!r} in table") from None
         return self.rows[:, idx]
 
+    def group_rows(self, name: str) -> dict[float, np.ndarray]:
+        """Rows grouped by one column's value, in first-seen order.
+
+        This is how the replay driver splits the concatenated LWP/HWT/GPU
+        sections back into per-entity series.
+        """
+        col = self.column(name)
+        return {
+            key: self.rows[col == key] for key in dict.fromkeys(col.tolist())
+        }
+
     def __len__(self) -> int:
         return len(self.rows)
 

@@ -5,6 +5,13 @@ user/system/idle split of every LWP and every HWT.  The monitor stores
 cumulative jiffy counters; these functions difference them into
 per-interval percentages.  Output is plain numpy arrays plus a text
 renderer, so no plotting stack is required to inspect the shapes.
+
+These functions accept *any* monitor driver — simulated
+(:class:`repro.core.ZeroSum`), live
+(:class:`repro.live.LiveZeroSum`), or replayed
+(:class:`repro.collect.ReplayZeroSum`) — since all three expose the
+same ``lwp_series``/``hwt_series``/``classify``/``hz`` surface over a
+shared :class:`~repro.collect.store.SampleStore`.
 """
 
 from __future__ import annotations
@@ -13,7 +20,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.monitor import ZeroSum
 from repro.errors import MonitorError
 
 __all__ = [
@@ -62,7 +68,7 @@ def _differences(ticks: np.ndarray, *counters: np.ndarray):
     return dt, [np.diff(c) for c in counters]
 
 
-def lwp_series(monitor: ZeroSum, tid: int) -> UtilizationSeries:
+def lwp_series(monitor, tid: int) -> UtilizationSeries:
     """Figure 6: one thread's user/system/idle over time."""
     series = monitor.lwp_series[tid]
     arr = series.array
@@ -71,7 +77,7 @@ def lwp_series(monitor: ZeroSum, tid: int) -> UtilizationSeries:
     user = 100.0 * du / dt
     system = 100.0 * ds / dt
     idle = np.clip(100.0 - user - system, 0.0, 100.0)
-    hz = monitor.kernel.clock.hz
+    hz = monitor.hz
     return UtilizationSeries(
         label=f"LWP {tid} ({monitor.classify(tid)})",
         seconds=ticks[1:] / hz,
@@ -81,7 +87,7 @@ def lwp_series(monitor: ZeroSum, tid: int) -> UtilizationSeries:
     )
 
 
-def hwt_series(monitor: ZeroSum, cpu: int) -> UtilizationSeries:
+def hwt_series(monitor, cpu: int) -> UtilizationSeries:
     """Figure 7: one hardware thread's utilization over time."""
     series = monitor.hwt_series[cpu]
     ticks = series.column("tick")
@@ -91,7 +97,7 @@ def hwt_series(monitor: ZeroSum, cpu: int) -> UtilizationSeries:
         series.column("system"),
         series.column("idle"),
     )
-    hz = monitor.kernel.clock.hz
+    hz = monitor.hz
     return UtilizationSeries(
         label=f"CPU {cpu}",
         seconds=ticks[1:] / hz,
@@ -101,7 +107,7 @@ def hwt_series(monitor: ZeroSum, cpu: int) -> UtilizationSeries:
     )
 
 
-def all_lwp_series(monitor: ZeroSum) -> list[UtilizationSeries]:
+def all_lwp_series(monitor) -> list[UtilizationSeries]:
     """Figure 6: one series per observed thread (needs >= 2 samples)."""
     out = []
     for tid in monitor.observed_tids():
@@ -110,7 +116,7 @@ def all_lwp_series(monitor: ZeroSum) -> list[UtilizationSeries]:
     return out
 
 
-def all_hwt_series(monitor: ZeroSum) -> list[UtilizationSeries]:
+def all_hwt_series(monitor) -> list[UtilizationSeries]:
     """Figure 7: one series per monitored CPU (needs >= 2 samples)."""
     out = []
     for cpu in sorted(monitor.hwt_series):
@@ -139,7 +145,7 @@ def render_series_table(series_list: list[UtilizationSeries], width: int = 10) -
     return "\n".join(lines) + "\n"
 
 
-def observed_processors(monitor: ZeroSum, tid: int) -> np.ndarray:
+def observed_processors(monitor, tid: int) -> np.ndarray:
     """The CPU the thread was last seen on, per sample — the §4 data
     behind "the OpenMP threads were all migrated at least once during
     execution, as captured by ZeroSum recording the core on which the
@@ -147,7 +153,7 @@ def observed_processors(monitor: ZeroSum, tid: int) -> np.ndarray:
     return monitor.lwp_series[tid].column("processor").astype(int)
 
 
-def observed_migrations(monitor: ZeroSum, tid: int) -> int:
+def observed_migrations(monitor, tid: int) -> int:
     """Number of processor changes visible at sampling granularity."""
     procs = observed_processors(monitor, tid)
     if len(procs) < 2:

@@ -1,0 +1,43 @@
+"""The backend-agnostic collection engine (§3.1/§3.5).
+
+One sampling pipeline — ``ProcReader`` → ``Collector`` →
+``SampleStore`` → ``ReportBuilder`` — shared by every monitor driver:
+the simulated :class:`repro.core.ZeroSum`, the live
+:class:`repro.live.LiveZeroSum`, and the offline
+:class:`ReplayZeroSum`.  Drivers only schedule samples and manage
+lifecycle; everything that reads, parses, stores, or summarizes
+observations lives in this package.
+"""
+
+from repro.collect.collectors import (
+    Collector,
+    GpuCollector,
+    HwtCollector,
+    LwpCollector,
+    MemoryCollector,
+    read_cpu_times,
+    read_meminfo,
+    read_task,
+)
+from repro.collect.engine import CollectionEngine
+from repro.collect.reader import ProcReader, RealProc
+from repro.collect.report import ReportBuilder
+from repro.collect.replay import ReplayZeroSum
+from repro.collect.store import SampleStore
+
+__all__ = [
+    "ProcReader",
+    "RealProc",
+    "Collector",
+    "LwpCollector",
+    "HwtCollector",
+    "MemoryCollector",
+    "GpuCollector",
+    "read_task",
+    "read_cpu_times",
+    "read_meminfo",
+    "CollectionEngine",
+    "SampleStore",
+    "ReportBuilder",
+    "ReplayZeroSum",
+]

@@ -1,0 +1,75 @@
+"""The sampling engine: reader + collectors + store, no scheduling.
+
+A :class:`CollectionEngine` is the whole §3 observation pipeline with
+the driver-specific parts factored out.  The simulated monitor calls
+:meth:`sample` from a simulated thread on simulated ticks; the live
+monitor calls it from a Python thread on wall-clock jiffies; the
+replay driver bypasses it entirely and refills the store from a log.
+None of them contain sampling code of their own.
+
+One sampling period is two calls: :meth:`sample` takes the
+observation, and :meth:`commit` closes the period once the driver has
+consumed any per-interval products (heartbeats, stream events) that
+difference the new sample against the previous one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.collect.collectors import Collector
+from repro.collect.store import SampleStore
+from repro.core.heartbeat import ThreadSnapshot
+from repro.core.stream import SampleEvent, condense_event
+
+__all__ = ["CollectionEngine"]
+
+
+class CollectionEngine:
+    """Run every collector over one substrate into one store."""
+
+    def __init__(self, store: SampleStore, collectors: Iterable[Collector]):
+        self.store = store
+        self.collectors: list[Collector] = list(collectors)
+
+    def sample(self, tick: float) -> list[ThreadSnapshot]:
+        """One periodic observation across all collectors."""
+        snapshots: list[ThreadSnapshot] = []
+        for collector in self.collectors:
+            snapshots.extend(collector.collect(tick))
+        self.store.samples_taken += 1
+        self.store.last_thread_count = len(snapshots)
+        return snapshots
+
+    def make_event(
+        self,
+        tick: float,
+        snapshots: list[ThreadSnapshot],
+        *,
+        hz: float,
+        hostname: str,
+        pid: int,
+        rank: Optional[int],
+        monitor_tid: Optional[int],
+        deadlock_suspected: bool,
+    ) -> SampleEvent:
+        """Condense the sample just taken into one stream event.
+
+        Must run before :meth:`commit` — the busy rate differences the
+        new totals against the previous period's.
+        """
+        return condense_event(
+            self.store,
+            tick,
+            snapshots,
+            hz=hz,
+            hostname=hostname,
+            pid=pid,
+            rank=rank,
+            monitor_tid=monitor_tid,
+            deadlock_suspected=deadlock_suspected,
+        )
+
+    def commit(self, tick: float, snapshots: list[ThreadSnapshot]) -> None:
+        """Close the period: record its tick and cumulative totals."""
+        self.store.commit(tick, snapshots)

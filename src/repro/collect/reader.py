@@ -1,0 +1,73 @@
+"""The ``ProcReader`` seam: one textual ``/proc`` interface, any substrate.
+
+Every collector in :mod:`repro.collect.collectors` is written against
+this two-method protocol — ``read`` a file, ``listdir`` a directory,
+both addressed by canonical ``/proc/...`` paths.  Two implementations
+exist:
+
+* the simulated :class:`repro.procfs.filesystem.ProcFS`, which renders
+  kernel text formats from simulator state and satisfies the protocol
+  natively;
+* :class:`RealProc` below, a ``pathlib`` view of the host kernel's
+  ``/proc`` (or any copied tree, for tests and trace capture).
+
+Because both speak the same paths and raise the same
+:class:`~repro.errors.ProcFSError`, the parsers and collectors are
+invoked from exactly one place regardless of substrate — the paper's
+§3.1/§3.5 claim that one monitoring pipeline runs unchanged anywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path, PurePosixPath
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ProcFSError
+
+__all__ = ["ProcReader", "RealProc"]
+
+
+@runtime_checkable
+class ProcReader(Protocol):
+    """What a collector needs from any ``/proc`` substrate."""
+
+    def read(self, path: str) -> str:
+        """Return the text of one ``/proc/...`` file."""
+        ...
+
+    def listdir(self, path: str) -> list[str]:
+        """List the entries of one ``/proc/...`` directory."""
+        ...
+
+
+class RealProc:
+    """``ProcReader`` over a real ``/proc`` tree via :mod:`pathlib`.
+
+    ``root`` defaults to the host kernel's ``/proc`` but may point at
+    any directory with the same layout (a bind mount, a test fixture,
+    a captured snapshot).  Canonical ``/proc/...`` paths are re-rooted
+    onto it, so collectors never know the difference.
+    """
+
+    def __init__(self, root: str | Path = "/proc"):
+        self.root = Path(root)
+
+    def _resolve(self, path: str) -> Path:
+        parts = PurePosixPath(path).parts
+        if len(parts) < 2 or parts[0] != "/" or parts[1] != "proc":
+            raise ProcFSError(f"not a /proc path: {path}")
+        return self.root.joinpath(*parts[2:])
+
+    def read(self, path: str) -> str:
+        """Read one file; missing paths raise ProcFSError."""
+        try:
+            return self._resolve(path).read_text()
+        except OSError as exc:
+            raise ProcFSError(f"no such file: {path}") from exc
+
+    def listdir(self, path: str) -> list[str]:
+        """List one directory; missing paths raise ProcFSError."""
+        try:
+            return sorted(p.name for p in self._resolve(path).iterdir())
+        except OSError as exc:
+            raise ProcFSError(f"no such directory: {path}") from exc

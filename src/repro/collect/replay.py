@@ -1,0 +1,164 @@
+"""Trace replay: the third driver over the shared collection pipeline.
+
+A ZeroSum log (§3.6) carries the raw CSV dump of every sample.  This
+driver re-ingests that dump into a fresh
+:class:`~repro.collect.store.SampleStore` and rebuilds the Listing 2
+report with the very same
+:class:`~repro.collect.report.ReportBuilder` the simulated and live
+monitors use — the offline login-node workflow, and the proof that the
+store/report seam is real: a report recomputed from the exported
+samples matches the one the original run printed.
+
+Thread kinds and affinities are identity metadata, not samples; the
+replay recovers them from the report embedded in the log so the
+rebuilt rows carry the same labels.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.collect.report import ReportBuilder
+from repro.collect.store import SampleStore
+from repro.core.records import GPU_COLUMNS, HWT_COLUMNS, LWP_COLUMNS, MEM_COLUMNS
+from repro.core.reports import UtilizationReport
+from repro.errors import MonitorError
+from repro.topology.cpuset import CpuSet
+from repro.units import USER_HZ
+
+__all__ = ["ReplayZeroSum"]
+
+_ATTACH_RE = re.compile(
+    r"^ZeroSum(?P<live> \(live\))? attached to PID (?P<pid>\d+) "
+    r"on (?P<host>\S+)"
+)
+_CPUS_RE = re.compile(r"^CPUs allowed: \[(?P<cpus>[^\]]*)\]")
+_RANK_RE = re.compile(r"^MPI rank (?P<rank>\d+) of \d+")
+_LWP_LINE_RE = re.compile(
+    r"^LWP (?P<tid>\d+): (?P<kind>.+?) - stime: .*"
+    r"CPUs: \[(?P<cpus>[^\]]*)\]$"
+)
+
+
+class ReplayZeroSum:
+    """Re-run the report pipeline from one exported log's text."""
+
+    def __init__(self, log_text: str, *, hz: float = USER_HZ):
+        # lazy import: logparse sits above core.monitor in the import
+        # graph (via core.heatmap), and core.monitor imports this package
+        from repro.analysis.logparse import parse_log
+
+        parsed = parse_log(log_text)
+        self.hz = hz
+        self.live = False
+        self.pid = 0
+        self.hostname = "?"
+        self.rank: Optional[int] = None
+        self.cpus_allowed = CpuSet()
+        for line in parsed.header.splitlines():
+            if m := _ATTACH_RE.match(line):
+                self.live = m.group("live") is not None
+                self.pid = int(m.group("pid"))
+                self.hostname = m.group("host")
+            elif m := _CPUS_RE.match(line):
+                self.cpus_allowed = CpuSet.from_list(m.group("cpus"))
+            elif m := _RANK_RE.match(line):
+                self.rank = int(m.group("rank"))
+        self.duration_seconds = parsed.duration_seconds()
+
+        self.store = SampleStore()
+        self._kinds: dict[int, str] = {}
+        self._ingest_samples(parsed)
+        self._ingest_identity(parsed.report_text)
+
+    # -- ingestion ------------------------------------------------------
+    def _ingest_samples(self, parsed) -> None:
+        if parsed.lwp is not None:
+            self._check(parsed.lwp.columns, ("tid",) + LWP_COLUMNS, "LWP")
+            for tid, rows in parsed.lwp.group_rows("tid").items():
+                for row in rows:
+                    self.store.add_lwp_row(int(tid), tuple(row[1:]))
+        if parsed.hwt is not None:
+            self._check(parsed.hwt.columns, ("cpu",) + HWT_COLUMNS, "HWT")
+            for cpu, rows in parsed.hwt.group_rows("cpu").items():
+                for row in rows:
+                    self.store.add_hwt_row(int(cpu), tuple(row[1:]))
+        if parsed.gpu is not None:
+            self._check(parsed.gpu.columns, ("gpu",) + GPU_COLUMNS, "GPU")
+            for gpu, rows in parsed.gpu.group_rows("gpu").items():
+                for row in rows:
+                    self.store.add_gpu_row(int(gpu), tuple(row[1:]))
+        if parsed.memory is not None:
+            self._check(parsed.memory.columns, MEM_COLUMNS, "memory")
+            for row in parsed.memory.rows:
+                self.store.add_mem_row(tuple(row))
+
+    @staticmethod
+    def _check(columns, expected, section: str) -> None:
+        if tuple(columns) != tuple(expected):
+            raise MonitorError(
+                f"unexpected {section} CSV columns in log: {columns}"
+            )
+
+    def _ingest_identity(self, report_text: str) -> None:
+        for line in report_text.splitlines():
+            m = _LWP_LINE_RE.match(line)
+            if not m:
+                continue
+            tid = int(m.group("tid"))
+            self._kinds[tid] = m.group("kind")
+            self.store.lwp_affinity[tid] = CpuSet.from_list(m.group("cpus"))
+
+    # -- the common monitor surface ------------------------------------
+    @property
+    def lwp_series(self):
+        return self.store.lwp_series
+
+    @property
+    def lwp_affinity(self):
+        return self.store.lwp_affinity
+
+    @property
+    def lwp_names(self):
+        return self.store.lwp_names
+
+    @property
+    def hwt_series(self):
+        return self.store.hwt_series
+
+    @property
+    def gpu_series(self):
+        return self.store.gpu_series
+
+    @property
+    def mem_series(self):
+        return self.store.mem_series
+
+    def observed_tids(self) -> list[int]:
+        """Every thread id recovered from the log, sorted."""
+        return self.store.observed_tids()
+
+    def classify(self, tid: int) -> str:
+        """Thread kind as recorded in the original report."""
+        if tid in self._kinds:
+            return self._kinds[tid]
+        return "Main" if tid == self.pid else "Other"
+
+    # -- the report, recomputed from raw samples -----------------------
+    def report(self) -> UtilizationReport:
+        """Rebuild the Listing 2 report from the replayed samples."""
+        builder = ReportBuilder(
+            self.store,
+            baseline="first" if self.live else "zero",
+            start_tick=0.0,
+            duration_ticks=self.duration_seconds * self.hz,
+            classify=self.classify,
+        )
+        return builder.build(
+            duration_seconds=self.duration_seconds,
+            rank=self.rank,
+            pid=self.pid,
+            hostname=self.hostname,
+            cpus_allowed=self.cpus_allowed,
+        )

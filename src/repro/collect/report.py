@@ -1,0 +1,153 @@
+"""``ReportBuilder``: any :class:`SampleStore` → the Listing 2 report.
+
+The delta math that turns cumulative ``/proc`` counters into the
+paper's utilization percentages lives here and only here; the
+simulated monitor, the live monitor, and the trace-replay driver all
+build their reports through it.  Two baselines cover the substrates:
+
+* ``"zero"`` — counters started at zero when the process did (the
+  simulated kernel), so the latest cumulative value over the
+  observation window *is* the utilization.  Per-thread windows run
+  from ``start_tick`` to the thread's last sample, so a thread that
+  exits early keeps the utilization it showed while observable.
+* ``"first"`` — counters predate the monitor (a live ``/proc``), so
+  utilization is the last-minus-first delta over the first-to-last
+  window; a single-row series falls back to the zero baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.collect.store import SampleStore
+from repro.core.reports import GpuStat, HwtRow, LwpRow, UtilizationReport
+from repro.errors import MonitorError
+from repro.gpu.metrics import METRIC_LABELS, METRIC_ORDER
+from repro.topology.cpuset import CpuSet
+
+__all__ = ["ReportBuilder"]
+
+_TICK, _STATE, _UTIME, _STIME, _NV_CTX, _CTX = 0, 1, 2, 3, 4, 5
+
+
+class ReportBuilder:
+    """Summarize one store into a :class:`UtilizationReport`."""
+
+    def __init__(
+        self,
+        store: SampleStore,
+        *,
+        baseline: str = "zero",
+        start_tick: float = 0.0,
+        duration_ticks: Optional[float] = None,
+        classify: Optional[Callable[[int], str]] = None,
+    ):
+        if baseline not in ("zero", "first"):
+            raise MonitorError("baseline must be 'zero' or 'first'")
+        self.store = store
+        self.baseline = baseline
+        self.start_tick = start_tick
+        self.duration_ticks = duration_ticks
+        self.classify = classify or (lambda tid: "Other")
+
+    # -- per-table assembly --------------------------------------------
+    def _lwp_row(self, tid: int) -> Optional[LwpRow]:
+        arr = self.store.lwp_series[tid].array
+        if len(arr) == 0:
+            return None
+        first, last = arr[0], arr[-1]
+        if self.baseline == "zero":
+            window = max(1.0, last[_TICK] - self.start_tick)
+            d_utime, d_stime = last[_UTIME], last[_STIME]
+        else:
+            window = max(
+                1.0, last[_TICK] - (0.0 if len(arr) == 1 else first[_TICK])
+            )
+            d_utime = last[_UTIME] - (first[_UTIME] if len(arr) > 1 else 0)
+            d_stime = last[_STIME] - (first[_STIME] if len(arr) > 1 else 0)
+        return LwpRow(
+            tid=tid,
+            kind=self.classify(tid),
+            stime_pct=100.0 * d_stime / window,
+            utime_pct=100.0 * d_utime / window,
+            nv_ctx=int(last[_NV_CTX]),
+            ctx=int(last[_CTX]),
+            cpus=self.store.lwp_affinity.get(tid, CpuSet()),
+        )
+
+    def _hwt_row(self, cpu: int) -> Optional[HwtRow]:
+        series = self.store.hwt_series[cpu]
+        if self.baseline == "zero":
+            duration = self.duration_ticks
+            if duration is None:
+                raise MonitorError("zero-baseline HWT rows need duration_ticks")
+            if len(series) == 0:
+                return None
+            return HwtRow(
+                cpu=cpu,
+                idle_pct=100.0 * series.last("idle") / duration,
+                system_pct=100.0 * series.last("system") / duration,
+                user_pct=100.0 * series.last("user") / duration,
+            )
+        arr = series.array
+        if len(arr) < 2:
+            return None
+        d = arr[-1] - arr[0]
+        window = max(1.0, d[0])
+        return HwtRow(
+            cpu=cpu,
+            idle_pct=100.0 * d[3] / window,
+            system_pct=100.0 * d[2] / window,
+            user_pct=100.0 * d[1] / window,
+        )
+
+    def _gpu_stats(self, visible: int) -> list[GpuStat]:
+        series = self.store.gpu_series[visible]
+        stats = []
+        for metric in METRIC_ORDER:
+            col = series.column(metric)
+            if len(col) == 0:
+                continue
+            stats.append(
+                GpuStat(
+                    label=METRIC_LABELS[metric],
+                    minimum=float(np.min(col)),
+                    average=float(np.mean(col)),
+                    maximum=float(np.max(col)),
+                )
+            )
+        return stats
+
+    # -- assembly -------------------------------------------------------
+    def build(
+        self,
+        *,
+        duration_seconds: float,
+        rank: Optional[int],
+        pid: int,
+        hostname: str,
+        cpus_allowed: CpuSet,
+        deadlock_note: str = "",
+    ) -> UtilizationReport:
+        """Assemble the full Listing 2 report from the store."""
+        report = UtilizationReport(
+            duration_seconds=duration_seconds,
+            rank=rank,
+            pid=pid,
+            hostname=hostname,
+            cpus_allowed=cpus_allowed,
+            deadlock_note=deadlock_note,
+        )
+        for tid in self.store.observed_tids():
+            row = self._lwp_row(tid)
+            if row is not None:
+                report.lwp_rows.append(row)
+        for cpu in sorted(self.store.hwt_series):
+            hrow = self._hwt_row(cpu)
+            if hrow is not None:
+                report.hwt_rows.append(hrow)
+        for visible in sorted(self.store.gpu_series):
+            report.gpu_stats[visible] = self._gpu_stats(visible)
+        return report

@@ -1,0 +1,139 @@
+"""The ``SampleStore``: one home for everything a monitor observes.
+
+Every driver — simulated, live, or replay — owns exactly one store.
+Collectors append rows into it, :class:`~repro.collect.report.ReportBuilder`
+summarizes it, and the CSV exporters dump it.  The store also owns the
+two retention policies:
+
+* **summary mode** (``keep_series=False``): each series keeps only the
+  ``summary_rows`` rows the end-of-run report needs — the latest row
+  for zero-baseline (simulated) runs, the first + latest rows for
+  first-baseline (live) runs — refreshed in place every sample;
+* **ring cap** (``max_rows``): full series become rings of the last N
+  rows, bounding memory for long-running live sessions.
+
+It also tracks the per-tid cumulative totals of the previous sample,
+which the streaming seam differences into per-interval busy rates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.records import (
+    GPU_COLUMNS,
+    HWT_COLUMNS,
+    LWP_COLUMNS,
+    MEM_COLUMNS,
+    SeriesBuffer,
+)
+from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:
+    from repro.core.heartbeat import ThreadSnapshot
+
+__all__ = ["SampleStore"]
+
+
+class SampleStore:
+    """Series buffers, identity maps, and previous-sample totals."""
+
+    def __init__(
+        self,
+        *,
+        keep_series: bool = True,
+        max_rows: int | None = None,
+        summary_rows: int = 1,
+        start_tick: float = 0.0,
+    ):
+        self.keep_series = keep_series
+        self.max_rows = max_rows
+        self.summary_rows = max(1, summary_rows)
+        self.lwp_series: dict[int, SeriesBuffer] = {}
+        self.lwp_affinity: dict[int, CpuSet] = {}
+        self.lwp_names: dict[int, str] = {}
+        self.hwt_series: dict[int, SeriesBuffer] = {}
+        self.gpu_series: dict[int, SeriesBuffer] = {}
+        self.mem_series = self.new_series(MEM_COLUMNS)
+        self.samples_taken = 0
+        self.last_thread_count = 0
+        #: tick of the previous committed sample (starts at the
+        #: monitor's attach tick so the first interval is well defined)
+        self.prev_tick: float = start_tick
+        #: cumulative utime+stime per tid as of the previous sample
+        self.prev_totals: dict[int, float] = {}
+
+    # -- series creation and retention ---------------------------------
+    def new_series(self, columns: Sequence[str]) -> SeriesBuffer:
+        """A buffer honouring this store's retention policy."""
+        if self.keep_series:
+            return SeriesBuffer(columns, max_rows=self.max_rows)
+        return SeriesBuffer(columns, capacity=self.summary_rows)
+
+    def _push(self, series: SeriesBuffer, row: Sequence[float]) -> None:
+        if self.keep_series or len(series) < self.summary_rows:
+            series.append(row)
+        else:
+            series.replace_last(row)
+
+    # -- per-subsystem appends -----------------------------------------
+    def lwp(self, tid: int) -> SeriesBuffer:
+        """The (created-on-demand) series of one thread."""
+        series = self.lwp_series.get(tid)
+        if series is None:
+            series = self.lwp_series[tid] = self.new_series(LWP_COLUMNS)
+        return series
+
+    def add_lwp_row(
+        self,
+        tid: int,
+        row: Sequence[float],
+        *,
+        name: str | None = None,
+        affinity: CpuSet | None = None,
+    ) -> None:
+        """Record one thread observation plus its identity facts."""
+        self._push(self.lwp(tid), row)
+        if name is not None:
+            self.lwp_names[tid] = name
+        if affinity is not None:
+            # affinity may change after creation: re-record every period
+            self.lwp_affinity[tid] = affinity
+
+    def hwt(self, cpu: int) -> SeriesBuffer:
+        """The (created-on-demand) series of one hardware thread."""
+        series = self.hwt_series.get(cpu)
+        if series is None:
+            series = self.hwt_series[cpu] = self.new_series(HWT_COLUMNS)
+        return series
+
+    def add_hwt_row(self, cpu: int, row: Sequence[float]) -> None:
+        """Record one hardware-thread observation."""
+        self._push(self.hwt(cpu), row)
+
+    def gpu(self, index: int) -> SeriesBuffer:
+        """The (created-on-demand) series of one visible GPU."""
+        series = self.gpu_series.get(index)
+        if series is None:
+            series = self.gpu_series[index] = self.new_series(GPU_COLUMNS)
+        return series
+
+    def add_gpu_row(self, index: int, row: Sequence[float]) -> None:
+        """Record one GPU sensor sweep."""
+        self._push(self.gpu(index), row)
+
+    def add_mem_row(self, row: Sequence[float]) -> None:
+        """Record one memory/IO observation."""
+        self._push(self.mem_series, row)
+
+    # -- queries --------------------------------------------------------
+    def observed_tids(self) -> list[int]:
+        """Every thread id ever sampled, sorted."""
+        return sorted(self.lwp_series)
+
+    # -- previous-sample tracking --------------------------------------
+    def commit(self, tick: float, snapshots: Iterable["ThreadSnapshot"]) -> None:
+        """Close one sampling period: remember its tick and totals."""
+        self.prev_tick = tick
+        for snap in snapshots:
+            self.prev_totals[snap.tid] = snap.total_jiffies

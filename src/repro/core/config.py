@@ -53,6 +53,10 @@ class ZeroSumConfig:
     signal_handler: bool = True
     #: keep per-sample time series (needed for CSV export and Figures 6-7)
     keep_series: bool = True
+    #: cap each series at this many rows (ring buffer: oldest rows are
+    #: overwritten); None keeps everything.  For long-running live
+    #: sessions that still want a trailing window of raw samples.
+    max_series_rows: int | None = None
     #: extra environment-style options
     extra: dict[str, str] = field(default_factory=dict)
 
@@ -74,6 +78,8 @@ class ZeroSumConfig:
             )
         if self.deadlock_after < 0:
             raise MonitorError("deadlock_after must be >= 0")
+        if self.max_series_rows is not None and self.max_series_rows < 1:
+            raise MonitorError("max_series_rows must be >= 1 (or None)")
         if self.deadlock_action not in ("report", "terminate"):
             raise MonitorError("deadlock_action must be 'report' or 'terminate'")
         if self.openmp_detection not in ("ompt", "probe"):

@@ -12,12 +12,23 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Protocol
+from typing import Mapping, Protocol
 
 from repro.core.monitor import ZeroSum
+from repro.core.records import SeriesBuffer
 from repro.core.reports import build_report
 
-__all__ = ["ExportSink", "MemorySink", "FileSink", "write_log", "lwp_csv", "hwt_csv", "gpu_csv", "memory_csv"]
+__all__ = [
+    "ExportSink",
+    "MemorySink",
+    "FileSink",
+    "write_log",
+    "series_csv",
+    "lwp_csv",
+    "hwt_csv",
+    "gpu_csv",
+    "memory_csv",
+]
 
 
 class ExportSink(Protocol):
@@ -49,47 +60,34 @@ class FileSink:
         (self.directory / name).write_text(content)
 
 
-def lwp_csv(monitor: ZeroSum) -> str:
-    """All LWP samples as one CSV (tid as a leading column)."""
+def series_csv(series_map: Mapping[int, SeriesBuffer], key_name: str) -> str:
+    """Concatenate per-key series into one CSV with a leading key column.
+
+    Shared by the simulated and live exporters so both emit the exact
+    section layout the replay driver and log parser expect.
+    """
     out = io.StringIO()
     first = True
-    for tid in monitor.observed_tids():
-        series = monitor.lwp_series[tid]
-        text = series.to_csv(prefix_cols={"tid": tid})
-        if first:
-            out.write(text)
-            first = False
-        else:
-            out.write(text.split("\n", 1)[1])
+    for key in sorted(series_map):
+        text = series_map[key].to_csv(prefix_cols={key_name: key})
+        out.write(text if first else text.split("\n", 1)[1])
+        first = False
     return out.getvalue()
+
+
+def lwp_csv(monitor: ZeroSum) -> str:
+    """All LWP samples as one CSV (tid as a leading column)."""
+    return series_csv(monitor.lwp_series, "tid")
 
 
 def hwt_csv(monitor: ZeroSum) -> str:
     """All HWT samples as one CSV (cpu as a leading column)."""
-    out = io.StringIO()
-    first = True
-    for cpu in sorted(monitor.hwt_series):
-        text = monitor.hwt_series[cpu].to_csv(prefix_cols={"cpu": cpu})
-        if first:
-            out.write(text)
-            first = False
-        else:
-            out.write(text.split("\n", 1)[1])
-    return out.getvalue()
+    return series_csv(monitor.hwt_series, "cpu")
 
 
 def gpu_csv(monitor: ZeroSum) -> str:
     """All GPU samples as one CSV (visible device as a leading column)."""
-    out = io.StringIO()
-    first = True
-    for visible in sorted(monitor.gpu_series):
-        text = monitor.gpu_series[visible].to_csv(prefix_cols={"gpu": visible})
-        if first:
-            out.write(text)
-            first = False
-        else:
-            out.write(text.split("\n", 1)[1])
-    return out.getvalue()
+    return series_csv(monitor.gpu_series, "gpu")
 
 
 def memory_csv(monitor: ZeroSum) -> str:

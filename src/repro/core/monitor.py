@@ -1,4 +1,4 @@
-"""The ZeroSum monitor: asynchronous sampling of LWPs, HWTs, GPUs, memory.
+"""The ZeroSum monitor: the *simulated-substrate driver* of the pipeline.
 
 This is the paper's primary contribution.  One :class:`ZeroSum`
 instance attaches to one process (the LD_PRELOAD injection of §3.1 is
@@ -7,17 +7,19 @@ modelled by :mod:`repro.core.wrapper`).  It
 1. detects the initial configuration through ``/proc`` (phase 1);
 2. spawns an asynchronous monitoring thread, pinned by default to the
    *last* hardware thread of the process's affinity list;
-3. every period (default 1 s) walks ``/proc/<pid>/task``, parses each
-   task's ``stat``/``status``, reads the ``cpuN`` lines of
-   ``/proc/stat`` restricted to the process cpuset, reads
-   ``/proc/meminfo``, and queries the GPU SMI — all through the same
-   textual interfaces a real deployment uses;
+3. every period drives the shared
+   :class:`~repro.collect.engine.CollectionEngine` — the same
+   collectors, parsers, and store the live and replay drivers use —
+   over the simulated ``/proc``;
 4. wraps the MPI point-to-point API of its rank to accumulate the
    communication matrix;
 5. tracks progress/deadlock, emits heartbeats, and on finalize holds
    everything the report and CSV exporters need.
 
-The sampling work itself costs simulated CPU (configurable jiffies per
+All sampling, parsing, storage, and delta math lives in
+:mod:`repro.collect`; this class only schedules samples and manages
+lifecycle (OpenMP identification, crash handling, deadlock policy).
+The sampling work costs simulated CPU (configurable jiffies per
 sample), which is what the Figure 8 overhead experiment measures.
 """
 
@@ -26,18 +28,18 @@ from __future__ import annotations
 import traceback
 from typing import Optional
 
+from repro.collect import (
+    CollectionEngine,
+    GpuCollector,
+    HwtCollector,
+    LwpCollector,
+    MemoryCollector,
+    SampleStore,
+)
 from repro.core.config import ZeroSumConfig
 from repro.core.detect import ProcessConfig, detect_configuration
-from repro.core.heartbeat import ProgressTracker, ThreadSnapshot
-from repro.core.records import (
-    HWT_COLUMNS,
-    LWP_COLUMNS,
-    MEM_COLUMNS,
-    SeriesBuffer,
-    state_code,
-)
+from repro.core.heartbeat import ProgressTracker
 from repro.errors import MonitorError
-from repro.gpu.metrics import METRIC_ORDER
 from repro.gpu.backend import SmiBackend, make_smi
 from repro.kernel.directives import Call, Compute, Sleep
 from repro.kernel.lwp import LWP, Behavior, ThreadRole
@@ -48,18 +50,9 @@ from repro.mpi.interpose import P2PRecorder
 from repro.openmp.ompt import OmptEvent, OmptThreadType
 from repro.openmp.runtime import OpenMPRuntime
 from repro.procfs.filesystem import ProcFS
-from repro.procfs.parsers import (
-    parse_meminfo,
-    parse_pid_io,
-    parse_pid_stat,
-    parse_pid_status,
-    parse_proc_stat,
-)
 from repro.topology.cpuset import CpuSet
 
 __all__ = ["ZeroSum"]
-
-_GPU_COLUMNS = ("tick",) + METRIC_ORDER
 
 
 class ZeroSum:
@@ -107,22 +100,34 @@ class ZeroSum:
         if omp is not None and self.config.openmp_detection == "ompt":
             self.register_openmp(omp)
 
-        # sample storage
-        self.lwp_series: dict[int, SeriesBuffer] = {}
-        self.lwp_affinity: dict[int, CpuSet] = {}
-        self.lwp_names: dict[int, str] = {}
-        self.hwt_series: dict[int, SeriesBuffer] = {}
-        self.gpu_series: dict[int, SeriesBuffer] = {}
-        self.mem_series = SeriesBuffer(MEM_COLUMNS)
-        self.samples_taken = 0
-        self._last_thread_count = 0
+        # the shared collection pipeline over the simulated /proc
+        self.store = SampleStore(
+            keep_series=self.config.keep_series,
+            max_rows=self.config.max_series_rows,
+            summary_rows=1,  # zero baseline: the report needs only the latest row
+            start_tick=self.start_tick,
+        )
+        collectors = [
+            LwpCollector(
+                self.procfs, self.store, process.pid, missing_process="ignore"
+            )
+        ]
+        if self.config.collect_hwt:
+            collectors.append(
+                HwtCollector(self.procfs, self.store, self.initial.cpus_allowed)
+            )
+        if self.config.collect_memory:
+            collectors.append(
+                MemoryCollector(self.procfs, self.store, process.pid)
+            )
+        if self.smi is not None:
+            collectors.append(GpuCollector(self.store, self.smi))
+        self.engine = CollectionEngine(self.store, collectors)
+
         #: optional live export bus (the LDMS/TAU seam, §6)
         self.stream = stream
-        self._prev_sample_tick = self.start_tick
-        self._prev_totals: dict[int, float] = {}
         self.heartbeats: list[str] = []
         self.crash_reports: list[str] = []
-
         if self.config.signal_handler:
             kernel.on_crash.append(self._on_crash)
 
@@ -183,7 +188,7 @@ class ZeroSum:
             yield Call(lambda k, l: self.take_sample())
             cost = (
                 self.config.sample_cost_jiffies
-                + self.config.sample_cost_per_thread * self._last_thread_count
+                + self.config.sample_cost_per_thread * self.store.last_thread_count
             )
             if cost > 0:
                 yield Compute(cost, user_frac=self.config.sample_user_frac)
@@ -206,129 +211,21 @@ class ZeroSum:
     def take_sample(self) -> None:
         """One periodic observation (runs inside the monitor thread)."""
         tick = self.kernel.now
-        pid = self.process.pid
-        snapshots: list[ThreadSnapshot] = []
-
         # pre-5.1 OpenMP runtimes: probe the team like the paper's
         # fallback parallel region does
         if self._omp is not None and self.config.openmp_detection == "probe":
             self.probe_openmp_team()
 
-        # -- LWPs: /proc/<pid>/task/<tid>/{stat,status} ----------------
-        try:
-            tids = [int(t) for t in self.procfs.listdir(f"/proc/{pid}/task")]
-        except Exception:
-            tids = []
-        for tid in tids:
-            try:
-                stat = parse_pid_stat(
-                    self.procfs.read(f"/proc/{pid}/task/{tid}/stat")
-                )
-                status = parse_pid_status(
-                    self.procfs.read(f"/proc/{pid}/task/{tid}/status")
-                )
-            except Exception:
-                continue  # transient thread died mid-sample
-            series = self.lwp_series.get(tid)
-            if series is None:
-                series = SeriesBuffer(LWP_COLUMNS)
-                self.lwp_series[tid] = series
-            if self.config.keep_series or len(series) == 0:
-                series.append(
-                    (
-                        tick,
-                        state_code(stat.state),
-                        stat.utime,
-                        stat.stime,
-                        status.nonvoluntary_ctxt_switches,
-                        status.voluntary_ctxt_switches,
-                        stat.minflt,
-                        stat.majflt,
-                        stat.processor,
-                    )
-                )
-            else:  # summary mode: keep only the latest row
-                series._data[0] = (
-                    tick,
-                    state_code(stat.state),
-                    stat.utime,
-                    stat.stime,
-                    status.nonvoluntary_ctxt_switches,
-                    status.voluntary_ctxt_switches,
-                    stat.minflt,
-                    stat.majflt,
-                    stat.processor,
-                )
-            # affinity may change after creation: re-query every period
-            self.lwp_affinity[tid] = status.cpus_allowed
-            self.lwp_names[tid] = stat.comm
-            snapshots.append(
-                ThreadSnapshot(
-                    tid=tid,
-                    state=stat.state,
-                    total_jiffies=stat.utime + stat.stime,
-                )
-            )
+        snapshots = self.engine.sample(tick)
 
-        # -- HWTs: /proc/stat restricted to the process affinity --------
-        if self.config.collect_hwt:
-            cpu_times = parse_proc_stat(self.procfs.read("/proc/stat"))
-            for cpu in self.initial.cpus_allowed:
-                times = cpu_times.get(cpu)
-                if times is None:
-                    continue
-                series = self.hwt_series.get(cpu)
-                if series is None:
-                    series = SeriesBuffer(HWT_COLUMNS)
-                    self.hwt_series[cpu] = series
-                series.append(
-                    (tick, times.user, times.system, times.idle, times.iowait)
-                )
-
-        # -- memory: /proc/meminfo + /proc/<pid>/status ------------------
-        if self.config.collect_memory:
-            meminfo = parse_meminfo(self.procfs.read("/proc/meminfo"))
-            self_status = parse_pid_status(self.procfs.read(f"/proc/{pid}/status"))
-            try:
-                io = parse_pid_io(self.procfs.read(f"/proc/{pid}/io"))
-                io_read, io_write = io.read_bytes // 1024, io.write_bytes // 1024
-            except Exception:
-                io_read = io_write = 0
-            self.mem_series.append(
-                (
-                    tick,
-                    meminfo.get("MemTotal", 0),
-                    meminfo.get("MemFree", 0),
-                    meminfo.get("MemAvailable", 0),
-                    self_status.vm_rss_kib,
-                    io_read,
-                    io_write,
-                )
-            )
-
-        # -- GPUs: vendor SMI --------------------------------------------
-        if self.smi is not None:
-            for visible in range(self.smi.num_devices()):
-                sample = self.smi.sample(visible, tick)
-                series = self.gpu_series.get(visible)
-                if series is None:
-                    series = SeriesBuffer(_GPU_COLUMNS)
-                    self.gpu_series[visible] = series
-                series.append(
-                    (tick,) + tuple(getattr(sample, m) for m in METRIC_ORDER)
-                )
-
-        self.samples_taken += 1
-        self._last_thread_count = len(snapshots)
-
-        # -- heartbeat + deadlock suspicion --------------------------------
+        # -- heartbeat + deadlock suspicion ----------------------------
         if (
             self.config.heartbeat_every
-            and self.samples_taken % self.config.heartbeat_every == 0
+            and self.store.samples_taken % self.config.heartbeat_every == 0
         ):
             self.heartbeats.append(
                 f"[zerosum] t={tick / self.kernel.clock.hz:.1f}s "
-                f"pid={pid} viable, {len(snapshots)} threads"
+                f"pid={self.process.pid} viable, {len(snapshots)} threads"
             )
         # a process whose main thread returned is finished, not
         # deadlocked (daemon helper threads may outlive it)
@@ -338,58 +235,26 @@ class ZeroSum:
                     and self.process.alive:
                 self.heartbeats.append(
                     f"[zerosum] t={tick / self.kernel.clock.hz:.1f}s "
-                    f"pid={pid} TERMINATING: {self.progress.describe()}"
+                    f"pid={self.process.pid} TERMINATING: "
+                    f"{self.progress.describe()}"
                 )
                 self.kernel.kill_process(self.process, exit_code=124)
 
-        # -- live streaming (LDMS/TAU seam, §6) -----------------------------
+        # -- live streaming (LDMS/TAU seam, §6) ------------------------
         if self.stream is not None:
-            self.stream.publish(self._make_event(tick, snapshots))
-        self._prev_sample_tick = tick
-        for snap in snapshots:
-            self._prev_totals[snap.tid] = snap.total_jiffies
-
-    # ------------------------------------------------------------------
-    def _make_event(self, tick: int, snapshots) -> "SampleEvent":
-        from repro.core.stream import SampleEvent
-
-        interval = max(1, tick - self._prev_sample_tick)
-        app = [s for s in snapshots if s.tid != self.monitor_lwp.tid]
-        deltas = [
-            s.total_jiffies - self._prev_totals.get(s.tid, 0.0) for s in app
-        ]
-        busy_threads = [d for d in deltas if d > 0] or deltas
-        busy_pct = (
-            100.0 * sum(busy_threads) / (interval * len(busy_threads))
-            if busy_threads else 0.0
-        )
-        gpu_busy = -1.0
-        if self.gpu_series:
-            vals = [
-                float(series.column("busy_percent")[-1])
-                for series in self.gpu_series.values()
-                if len(series)
-            ]
-            if vals:
-                gpu_busy = sum(vals) / len(vals)
-        rss = mem_avail = 0.0
-        if len(self.mem_series):
-            rss = self.mem_series.last("rss_kib")
-            mem_avail = self.mem_series.last("mem_available_kib")
-        return SampleEvent(
-            tick=tick,
-            seconds=tick / self.kernel.clock.hz,
-            hostname=self.process.node.hostname,
-            pid=self.process.pid,
-            rank=self.process.rank,
-            threads=len(snapshots),
-            runnable_threads=sum(1 for s in snapshots if s.state == "R"),
-            busy_pct=busy_pct,
-            rss_kib=rss,
-            mem_available_kib=mem_avail,
-            gpu_busy_pct=gpu_busy,
-            deadlock_suspected=self.progress.deadlock_suspected,
-        )
+            self.stream.publish(
+                self.engine.make_event(
+                    tick,
+                    snapshots,
+                    hz=self.kernel.clock.hz,
+                    hostname=self.process.node.hostname,
+                    pid=self.process.pid,
+                    rank=self.process.rank,
+                    monitor_tid=self.monitor_lwp.tid,
+                    deadlock_suspected=self.progress.deadlock_suspected,
+                )
+            )
+        self.engine.commit(tick, snapshots)
 
     # ------------------------------------------------------------------
     def _on_crash(self, kernel: SimKernel, lwp: LWP, exc: BaseException) -> None:
@@ -415,7 +280,41 @@ class ZeroSum:
             self.recorder.detach_all()
         self._finalized = True
 
-    # -- derived quantities --------------------------------------------------
+    # -- store access (the series live in the shared SampleStore) ------
+    @property
+    def lwp_series(self):
+        return self.store.lwp_series
+
+    @property
+    def lwp_affinity(self):
+        return self.store.lwp_affinity
+
+    @property
+    def lwp_names(self):
+        return self.store.lwp_names
+
+    @property
+    def hwt_series(self):
+        return self.store.hwt_series
+
+    @property
+    def gpu_series(self):
+        return self.store.gpu_series
+
+    @property
+    def mem_series(self):
+        return self.store.mem_series
+
+    @property
+    def samples_taken(self) -> int:
+        return self.store.samples_taken
+
+    @property
+    def hz(self) -> float:
+        """Tick rate of the recorded series (simulated jiffies/s)."""
+        return self.kernel.clock.hz
+
+    # -- derived quantities --------------------------------------------
     @property
     def duration_ticks(self) -> int:
         end = self.end_tick if self.end_tick is not None else self.kernel.now
@@ -427,11 +326,11 @@ class ZeroSum:
 
     def observed_tids(self) -> list[int]:
         """Every thread id the monitor ever sampled, sorted."""
-        return sorted(self.lwp_series)
+        return self.store.observed_tids()
 
     def lwp_last(self, tid: int, column: str) -> float:
         """Latest sampled value of one LWP column."""
-        return self.lwp_series[tid].last(column)
+        return self.store.lwp_series[tid].last(column)
 
     def deadlock_suspected(self) -> bool:
         """Whether the progress tracker has flagged a deadlock."""

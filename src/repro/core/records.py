@@ -4,6 +4,10 @@ ZeroSum keeps everything it samples so the log can be dumped as CSV
 time series (§3.6) and post-processed into the stacked charts of
 Figures 6 and 7.  Counters are stored *cumulatively*, as read from
 ``/proc``; per-interval rates are derived at analysis time.
+
+A buffer may be capped with ``max_rows``: once full it becomes a ring
+and every further append overwrites the oldest row.  Long-running live
+monitors use this to bound memory while keeping a trailing window.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import MonitorError
+from repro.gpu.metrics import METRIC_ORDER as _METRIC_ORDER
 
 __all__ = [
     "SeriesBuffer",
@@ -57,44 +62,98 @@ MEM_COLUMNS: tuple[str, ...] = (
     "io_write_kib",
 )
 
-from repro.gpu.metrics import METRIC_ORDER as _METRIC_ORDER
-
 #: GPU columns follow repro.gpu.metrics.METRIC_ORDER, prefixed by tick.
 GPU_COLUMNS: tuple[str, ...] = ("tick",) + _METRIC_ORDER
 
 
 class SeriesBuffer:
-    """A small column store with amortized O(1) row append."""
+    """A small column store with amortized O(1) row append.
 
-    def __init__(self, columns: Sequence[str], capacity: int = 64):
+    With ``max_rows`` set the buffer is a ring: it grows normally until
+    it holds ``max_rows`` rows, then each append overwrites the oldest
+    row.  ``appended`` counts every row ever offered, so callers can
+    detect how much history was dropped.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        capacity: int = 64,
+        max_rows: int | None = None,
+    ):
         if not columns:
             raise MonitorError("series needs at least one column")
+        if max_rows is not None and max_rows < 1:
+            raise MonitorError("max_rows must be >= 1")
         self.columns = tuple(columns)
-        self._data = np.zeros((max(1, capacity), len(self.columns)), dtype=np.float64)
+        self.max_rows = max_rows
+        cap = max(1, capacity)
+        if max_rows is not None:
+            cap = min(cap, max_rows)
+        self._data = np.zeros((cap, len(self.columns)), dtype=np.float64)
         self._len = 0
+        self._head = 0  # oldest row / next overwrite position once saturated
+        self.appended = 0
 
-    def append(self, row: Sequence[float]) -> None:
-        """Append one row (width-checked)."""
+    def _check_width(self, row: Sequence[float]) -> None:
         if len(row) != len(self.columns):
             raise MonitorError(
                 f"row has {len(row)} values, series has {len(self.columns)} columns"
             )
+
+    def append(self, row: Sequence[float]) -> None:
+        """Append one row (width-checked); overwrites the oldest when full."""
+        self._check_width(row)
+        self.appended += 1
+        if self.max_rows is not None and self._len == self.max_rows:
+            self._data[self._head] = row
+            self._head = (self._head + 1) % self.max_rows
+            return
         if self._len == self._data.shape[0]:
-            grown = np.zeros(
-                (self._data.shape[0] * 2, len(self.columns)), dtype=np.float64
-            )
+            grow = self._data.shape[0] * 2
+            if self.max_rows is not None:
+                grow = min(grow, self.max_rows)
+            grown = np.zeros((grow, len(self.columns)), dtype=np.float64)
             grown[: self._len] = self._data
             self._data = grown
         self._data[self._len] = row
         self._len += 1
 
+    def replace_last(self, row: Sequence[float]) -> None:
+        """Overwrite the most recently appended row (append when empty).
+
+        This is what summary mode uses: the store keeps only the rows
+        the end-of-run report needs and refreshes the newest in place.
+        """
+        if self._len == 0:
+            self.append(row)
+            return
+        self._check_width(row)
+        if self.max_rows is not None and self._len == self.max_rows:
+            idx = (self._head - 1) % self.max_rows
+        else:
+            idx = self._len - 1
+        self._data[idx] = row
+
     def __len__(self) -> int:
         return self._len
 
     @property
+    def dropped(self) -> int:
+        """Rows overwritten by the ring (0 for unbounded buffers)."""
+        return self.appended - self._len
+
+    @property
     def array(self) -> np.ndarray:
-        """(n, ncols) view of the recorded rows (no copy)."""
-        return self._data[: self._len]
+        """(n, ncols) array of the recorded rows, oldest first.
+
+        A view when the ring has not wrapped; a copy once it has.
+        """
+        if self._head == 0:
+            return self._data[: self._len]
+        return np.concatenate(
+            (self._data[self._head : self._len], self._data[: self._head])
+        )
 
     def column(self, name: str) -> np.ndarray:
         """One named column of the recorded rows."""
@@ -117,19 +176,46 @@ class SeriesBuffer:
 
     def iter_rows(self) -> Iterator[dict[str, float]]:
         """Rows as dicts, oldest first."""
-        for i in range(self._len):
-            yield dict(zip(self.columns, self._data[i]))
+        for row in self.array:
+            yield dict(zip(self.columns, row))
 
     def to_csv(self, prefix_cols: dict[str, object] | None = None) -> str:
-        """Render as CSV text, optionally with constant prefix columns."""
+        """Render as CSV text, optionally with constant prefix columns.
+
+        Whole numbers render without a decimal point, everything else
+        with 6 significant digits — formatting is vectorized per column
+        rather than per value.
+        """
         prefix = prefix_cols or {}
-        header = list(prefix) + list(self.columns)
-        lines = [",".join(header)]
-        pvals = [str(v) for v in prefix.values()]
-        for i in range(self._len):
-            row = [
-                f"{v:.6g}" if not float(v).is_integer() else str(int(v))
-                for v in self._data[i]
-            ]
-            lines.append(",".join(pvals + row))
-        return "\n".join(lines) + "\n"
+        header = ",".join(list(prefix) + list(self.columns))
+        arr = self.array
+        if arr.shape[0] == 0:
+            return header + "\n"
+        # one printf conversion per column, decided from a numpy mask over
+        # the whole column; only genuinely mixed columns pay a per-value
+        # pass.  Each row then renders with a single C-level % call.
+        fmt_parts: list[str] = []
+        cols: list[list] = []
+        for j in range(arr.shape[1]):
+            col = arr[:, j]
+            whole = np.isfinite(col) & (np.mod(col, 1) == 0)
+            if whole.all():
+                fmt_parts.append("%d")
+                cols.append(col.tolist())
+            elif not whole.any():
+                fmt_parts.append("%.6g")
+                cols.append(col.tolist())
+            else:
+                fmt_parts.append("%s")
+                cols.append(
+                    [
+                        "%d" % v if w else "%.6g" % v
+                        for v, w in zip(col.tolist(), whole.tolist())
+                    ]
+                )
+        fmt = ",".join(fmt_parts)
+        if prefix:
+            pre = ",".join(str(v) for v in prefix.values()) + ","
+            fmt = pre.replace("%", "%%") + fmt
+        body = "\n".join(fmt % row for row in zip(*cols))
+        return header + "\n" + body + "\n"

@@ -9,13 +9,12 @@ min/avg/max sensor statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-import numpy as np
-
-from repro.core.monitor import ZeroSum
-from repro.gpu.metrics import METRIC_LABELS, METRIC_ORDER
 from repro.topology.cpuset import CpuSet
+
+if TYPE_CHECKING:
+    from repro.core.monitor import ZeroSum
 
 __all__ = ["LwpRow", "HwtRow", "GpuStat", "UtilizationReport", "build_report", "format_cpus"]
 
@@ -135,66 +134,32 @@ class UtilizationReport:
         return [r.cpu for r in self.hwt_rows if r.idle_pct >= threshold_pct]
 
 
-def build_report(monitor: ZeroSum) -> UtilizationReport:
-    """Assemble the report from a (finalized) monitor's samples."""
-    duration = monitor.duration_ticks
-    report = UtilizationReport(
+def build_report(monitor: "ZeroSum") -> UtilizationReport:
+    """Assemble the report from a (finalized) monitor's samples.
+
+    Thin shim over :class:`repro.collect.report.ReportBuilder` with the
+    simulated substrate's zero baseline: counters started at zero when
+    the process did, and each thread is normalized by its own
+    observation window so a thread that exits between samples keeps the
+    utilization it showed while observable.
+    """
+    # local import: repro.collect imports this module for the row types
+    from repro.collect.report import ReportBuilder
+
+    builder = ReportBuilder(
+        monitor.store,
+        baseline="zero",
+        start_tick=monitor.start_tick,
+        duration_ticks=monitor.duration_ticks,
+        classify=monitor.classify,
+    )
+    return builder.build(
         duration_seconds=monitor.duration_seconds,
         rank=monitor.process.rank,
         pid=monitor.process.pid,
         hostname=monitor.process.node.hostname,
         cpus_allowed=monitor.initial.cpus_allowed,
+        deadlock_note=(
+            monitor.progress.describe() if monitor.deadlock_suspected() else ""
+        ),
     )
-
-    for tid in monitor.observed_tids():
-        series = monitor.lwp_series[tid]
-        # normalize by the thread's own observation window: a thread that
-        # exits between samples keeps the utilization it showed while
-        # observable, instead of being diluted by the tail it missed
-        window = max(1.0, series.last("tick") - monitor.start_tick)
-        report.lwp_rows.append(
-            LwpRow(
-                tid=tid,
-                kind=monitor.classify(tid),
-                stime_pct=100.0 * series.last("stime") / window,
-                utime_pct=100.0 * series.last("utime") / window,
-                nv_ctx=int(series.last("nv_ctx")),
-                ctx=int(series.last("ctx")),
-                cpus=monitor.lwp_affinity.get(tid, CpuSet()),
-            )
-        )
-
-    for cpu in sorted(monitor.hwt_series):
-        series = monitor.hwt_series[cpu]
-        user = series.last("user")
-        system = series.last("system")
-        idle = series.last("idle")
-        report.hwt_rows.append(
-            HwtRow(
-                cpu=cpu,
-                idle_pct=100.0 * idle / duration,
-                system_pct=100.0 * system / duration,
-                user_pct=100.0 * user / duration,
-            )
-        )
-
-    for visible in sorted(monitor.gpu_series):
-        series = monitor.gpu_series[visible]
-        stats = []
-        for metric in METRIC_ORDER:
-            col = series.column(metric)
-            if len(col) == 0:
-                continue
-            stats.append(
-                GpuStat(
-                    label=METRIC_LABELS[metric],
-                    minimum=float(np.min(col)),
-                    average=float(np.mean(col)),
-                    maximum=float(np.max(col)),
-                )
-            )
-        report.gpu_stats[visible] = stats
-
-    if monitor.deadlock_suspected():
-        report.deadlock_note = monitor.progress.describe()
-    return report

@@ -17,7 +17,11 @@ application performance tools like TAU".  This module is that seam:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.collect.store import SampleStore
+    from repro.core.heartbeat import ThreadSnapshot
 
 __all__ = [
     "SampleEvent",
@@ -25,6 +29,7 @@ __all__ = [
     "SampleStream",
     "CallbackSubscriber",
     "LdmsAggregator",
+    "condense_event",
 ]
 
 
@@ -44,6 +49,63 @@ class SampleEvent:
     mem_available_kib: float
     gpu_busy_pct: float  # -1 when no GPU visible
     deadlock_suspected: bool
+
+
+def condense_event(
+    store: "SampleStore",
+    tick: float,
+    snapshots: "list[ThreadSnapshot]",
+    *,
+    hz: float,
+    hostname: str,
+    pid: int,
+    rank: Optional[int],
+    monitor_tid: Optional[int],
+    deadlock_suspected: bool,
+) -> SampleEvent:
+    """Condense one period's store state into a :class:`SampleEvent`.
+
+    The busy rate differences the fresh snapshots against the store's
+    previous-sample totals, so this must run before the period is
+    committed.  The monitor's own thread is excluded from the busy
+    average, as in the paper's overhead accounting.
+    """
+    interval = max(1, tick - store.prev_tick)
+    app = [s for s in snapshots if s.tid != monitor_tid]
+    deltas = [s.total_jiffies - store.prev_totals.get(s.tid, 0.0) for s in app]
+    busy_threads = [d for d in deltas if d > 0] or deltas
+    busy_pct = (
+        100.0 * sum(busy_threads) / (interval * len(busy_threads))
+        if busy_threads
+        else 0.0
+    )
+    gpu_busy = -1.0
+    if store.gpu_series:
+        vals = [
+            float(series.column("busy_percent")[-1])
+            for series in store.gpu_series.values()
+            if len(series)
+        ]
+        if vals:
+            gpu_busy = sum(vals) / len(vals)
+    rss = mem_avail = 0.0
+    if len(store.mem_series):
+        rss = store.mem_series.last("rss_kib")
+        mem_avail = store.mem_series.last("mem_available_kib")
+    return SampleEvent(
+        tick=tick,
+        seconds=tick / hz,
+        hostname=hostname,
+        pid=pid,
+        rank=rank,
+        threads=len(snapshots),
+        runnable_threads=sum(1 for s in snapshots if s.state == "R"),
+        busy_pct=busy_pct,
+        rss_kib=rss,
+        mem_available_kib=mem_avail,
+        gpu_busy_pct=gpu_busy,
+        deadlock_suspected=deadlock_suspected,
+    )
 
 
 class StreamSubscriber(Protocol):

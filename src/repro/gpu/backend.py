@@ -22,7 +22,14 @@ __all__ = ["SmiBackend", "make_smi", "backend_name"]
 
 
 class SmiBackend(Protocol):
-    """What the monitor needs from any vendor session."""
+    """What the GPU collector needs from any vendor session.
+
+    This is the surface :class:`repro.collect.collectors.GpuCollector`
+    drives; the collector never sees vendor-specific types.
+    """
+
+    #: short vendor tag ("nvml" | "sycl" | "rsmi"), for logs and tests
+    name: str
 
     def num_devices(self) -> int:
         """How many devices this session can query."""

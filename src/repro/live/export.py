@@ -3,39 +3,25 @@
 Mirrors :func:`repro.core.export.write_log` for
 :class:`~repro.live.monitor.LiveZeroSum`: startup banner, the
 Listing 2-style report, and the raw CSV time series, written through
-the same pluggable sink interface.
+the same pluggable sink interface and the same section layout — which
+is what lets :class:`repro.collect.ReplayZeroSum` re-ingest a live
+log and rebuild its report.
 """
 
 from __future__ import annotations
 
-import io
-
-from repro.core.export import ExportSink
+from repro.core.export import ExportSink, series_csv
 from repro.live.monitor import LiveZeroSum
 
 __all__ = ["write_live_log"]
 
 
 def _csv_sections(monitor: LiveZeroSum) -> list[tuple[str, str]]:
-    sections: list[tuple[str, str]] = []
-
-    out = io.StringIO()
-    first = True
-    for tid in sorted(monitor.lwp_series):
-        text = monitor.lwp_series[tid].to_csv(prefix_cols={"tid": tid})
-        out.write(text if first else text.split("\n", 1)[1])
-        first = False
-    sections.append(("LWP samples (CSV)", out.getvalue()))
-
-    out = io.StringIO()
-    first = True
-    for cpu in sorted(monitor.hwt_series):
-        text = monitor.hwt_series[cpu].to_csv(prefix_cols={"cpu": cpu})
-        out.write(text if first else text.split("\n", 1)[1])
-        first = False
-    if not first:
-        sections.append(("HWT samples (CSV)", out.getvalue()))
-
+    sections = [("LWP samples (CSV)", series_csv(monitor.lwp_series, "tid"))]
+    if monitor.hwt_series:
+        sections.append(
+            ("HWT samples (CSV)", series_csv(monitor.hwt_series, "cpu"))
+        )
     if len(monitor.mem_series):
         sections.append(("memory samples (CSV)", monitor.mem_series.to_csv()))
     return sections

@@ -1,26 +1,39 @@
-"""Live ZeroSum: monitor the *current real process* through /proc.
+"""Live ZeroSum: the *real-/proc driver* of the collection pipeline.
 
 This is the reproduction's proof that the monitoring pipeline is not
-simulation-bound: an asynchronous Python thread samples the host
-kernel's ``/proc`` with the very same parsers, stores samples in the
-same series buffers, and renders the same Listing 2 report.  On a
-compute node it is a genuinely usable user-space monitor for the
-hosting Python application.
+simulation-bound: an asynchronous Python thread drives the very same
+:class:`~repro.collect.engine.CollectionEngine` — same collectors,
+same parsers, same store, same report math — against the host
+kernel's ``/proc`` through a
+:class:`~repro.collect.reader.RealProc` reader.  On a compute node it
+is a genuinely usable user-space monitor for the hosting Python
+application.
+
+This class only owns scheduling (a ``threading`` loop) and lifecycle;
+it contains no sampling or report-delta code of its own.
 """
 
 from __future__ import annotations
 
 import os
+import socket
 import threading
 import time
 from typing import Optional
 
+from repro.collect import (
+    CollectionEngine,
+    HwtCollector,
+    LwpCollector,
+    MemoryCollector,
+    RealProc,
+    SampleStore,
+    read_task,
+)
+from repro.collect.report import ReportBuilder
 from repro.core.config import ZeroSumConfig
-from repro.core.records import HWT_COLUMNS, LWP_COLUMNS, MEM_COLUMNS, SeriesBuffer, state_code
-from repro.core.reports import HwtRow, LwpRow, UtilizationReport
+from repro.core.reports import UtilizationReport
 from repro.errors import MonitorError, ProcFSError
-from repro.live import sampler
-from repro.topology.cpuset import CpuSet
 from repro.units import USER_HZ
 
 __all__ = ["LiveZeroSum"]
@@ -37,21 +50,33 @@ class LiveZeroSum:
         self.config = config or ZeroSumConfig()
         self.proc_root = proc_root
         self.pid = os.getpid()
-        self.hostname = _read_hostname()
-        self.lwp_series: dict[int, SeriesBuffer] = {}
-        self.lwp_affinity: dict[int, CpuSet] = {}
-        self.lwp_names: dict[int, str] = {}
-        self.hwt_series: dict[int, SeriesBuffer] = {}
-        self.mem_series = SeriesBuffer(MEM_COLUMNS)
-        self.samples_taken = 0
+        self.hostname = socket.gethostname()
+        self.reader = RealProc(proc_root)
         self.start_time = time.monotonic()
         self.end_time: Optional[float] = None
         self._monitor_tid: Optional[int] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
-        status = sampler.read_task(self.pid, self.pid, proc_root)[1]
-        self.cpus_allowed = status.cpus_allowed
+        self.cpus_allowed = read_task(self.reader, self.pid, self.pid)[1].cpus_allowed
+
+        # live counters predate the monitor, so the report differences
+        # against the first sample: summary mode keeps first + latest
+        self.store = SampleStore(
+            keep_series=self.config.keep_series,
+            max_rows=self.config.max_series_rows,
+            summary_rows=2,
+        )
+        collectors = [LwpCollector(self.reader, self.store, self.pid)]
+        if self.config.collect_hwt:
+            collectors.append(
+                HwtCollector(self.reader, self.store, self.cpus_allowed)
+            )
+        if self.config.collect_memory:
+            collectors.append(
+                MemoryCollector(self.reader, self.store, self.pid)
+            )
+        self.engine = CollectionEngine(self.store, collectors)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -83,74 +108,9 @@ class LiveZeroSum:
     # ------------------------------------------------------------------
     def sample_once(self) -> None:
         """Take one sample (thread-safe via the GIL for our appends)."""
-        now_jiffies = (time.monotonic() - self.start_time) * USER_HZ
-        for tid in sampler.list_tasks(self.pid, self.proc_root):
-            try:
-                stat, status = sampler.read_task(self.pid, tid, self.proc_root)
-            except ProcFSError:
-                continue
-            series = self.lwp_series.get(tid)
-            if series is None:
-                series = SeriesBuffer(LWP_COLUMNS)
-                self.lwp_series[tid] = series
-            series.append(
-                (
-                    now_jiffies,
-                    state_code(stat.state),
-                    stat.utime,
-                    stat.stime,
-                    status.nonvoluntary_ctxt_switches,
-                    status.voluntary_ctxt_switches,
-                    stat.minflt,
-                    stat.majflt,
-                    stat.processor,
-                )
-            )
-            self.lwp_affinity[tid] = status.cpus_allowed
-            self.lwp_names[tid] = stat.comm
-
-        if self.config.collect_hwt:
-            cpu_times = sampler.read_cpu_times(self.proc_root)
-            for cpu in self.cpus_allowed:
-                times = cpu_times.get(cpu)
-                if times is None:
-                    continue
-                series = self.hwt_series.get(cpu)
-                if series is None:
-                    series = SeriesBuffer(HWT_COLUMNS)
-                    self.hwt_series[cpu] = series
-                series.append(
-                    (now_jiffies, times.user, times.system, times.idle,
-                     times.iowait)
-                )
-
-        if self.config.collect_memory:
-            meminfo = sampler.read_meminfo(self.proc_root)
-            status = sampler.read_task(self.pid, self.pid, self.proc_root)[1]
-            io_read = io_write = 0
-            try:
-                from pathlib import Path
-
-                from repro.procfs.parsers import parse_pid_io
-
-                io = parse_pid_io(
-                    (Path(self.proc_root) / str(self.pid) / "io").read_text()
-                )
-                io_read, io_write = io.read_bytes // 1024, io.write_bytes // 1024
-            except Exception:
-                pass
-            self.mem_series.append(
-                (
-                    now_jiffies,
-                    meminfo.get("MemTotal", 0),
-                    meminfo.get("MemFree", 0),
-                    meminfo.get("MemAvailable", 0),
-                    status.vm_rss_kib,
-                    io_read,
-                    io_write,
-                )
-            )
-        self.samples_taken += 1
+        tick = (time.monotonic() - self.start_time) * USER_HZ
+        snapshots = self.engine.sample(tick)
+        self.engine.commit(tick, snapshots)
 
     # ------------------------------------------------------------------
     def classify(self, tid: int) -> str:
@@ -162,8 +122,11 @@ class LiveZeroSum:
         return "Other"
 
     def report(self) -> UtilizationReport:
-        """Build the Listing 2-style report from deltas over the window."""
-        report = UtilizationReport(
+        """The Listing 2 report, via the shared ReportBuilder."""
+        builder = ReportBuilder(
+            self.store, baseline="first", classify=self.classify
+        )
+        return builder.build(
             duration_seconds=(
                 (self.end_time or time.monotonic()) - self.start_time
             ),
@@ -172,44 +135,37 @@ class LiveZeroSum:
             hostname=self.hostname,
             cpus_allowed=self.cpus_allowed,
         )
-        for tid in sorted(self.lwp_series):
-            series = self.lwp_series[tid]
-            arr = series.array
-            if len(arr) == 0:
-                continue
-            first, last = arr[0], arr[-1]
-            window = max(1.0, last[0] - (0.0 if len(arr) == 1 else first[0]))
-            d_utime = last[2] - (first[2] if len(arr) > 1 else 0)
-            d_stime = last[3] - (first[3] if len(arr) > 1 else 0)
-            report.lwp_rows.append(
-                LwpRow(
-                    tid=tid,
-                    kind=self.classify(tid),
-                    stime_pct=100.0 * d_stime / window,
-                    utime_pct=100.0 * d_utime / window,
-                    nv_ctx=int(last[4]),
-                    ctx=int(last[5]),
-                    cpus=self.lwp_affinity.get(tid, CpuSet()),
-                )
-            )
-        for cpu in sorted(self.hwt_series):
-            arr = self.hwt_series[cpu].array
-            if len(arr) < 2:
-                continue
-            d = arr[-1] - arr[0]
-            window = max(1.0, d[0])
-            report.hwt_rows.append(
-                HwtRow(
-                    cpu=cpu,
-                    idle_pct=100.0 * d[3] / window,
-                    system_pct=100.0 * d[2] / window,
-                    user_pct=100.0 * d[1] / window,
-                )
-            )
-        return report
 
+    # -- store access ---------------------------------------------------
+    @property
+    def lwp_series(self):
+        return self.store.lwp_series
 
-def _read_hostname() -> str:
-    import socket
+    @property
+    def lwp_affinity(self):
+        return self.store.lwp_affinity
 
-    return socket.gethostname()
+    @property
+    def lwp_names(self):
+        return self.store.lwp_names
+
+    @property
+    def hwt_series(self):
+        return self.store.hwt_series
+
+    @property
+    def mem_series(self):
+        return self.store.mem_series
+
+    @property
+    def samples_taken(self) -> int:
+        return self.store.samples_taken
+
+    def observed_tids(self) -> list[int]:
+        """Every thread id the monitor ever sampled, sorted."""
+        return self.store.observed_tids()
+
+    @property
+    def hz(self) -> float:
+        """Tick rate of the recorded series (wall-clock jiffies)."""
+        return USER_HZ

@@ -1,26 +1,20 @@
-"""Real-/proc readers: the same parsers, pointed at the host kernel.
+"""Real-/proc convenience readers (thin wrappers over the collect seam).
 
-These functions implement the collector side of ZeroSum against a live
-Linux ``/proc`` — proving the parsers and report pipeline are not
-simulation-bound.  They are used by :class:`repro.live.LiveZeroSum`
-and by the test suite (which runs on a Linux container).
+Historically this module read and parsed the host ``/proc`` itself;
+the parsing now lives in :mod:`repro.collect.collectors`, invoked
+through the same :class:`~repro.collect.reader.RealProc` reader the
+live monitor drives.  These functions remain as the stable
+functional API used by scripts and the test suite.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
+from repro.collect import RealProc
+from repro.collect import collectors as _collectors
 from repro.errors import ProcFSError
-from repro.procfs.parsers import (
-    CpuTimes,
-    TaskStat,
-    TaskStatus,
-    parse_meminfo,
-    parse_pid_stat,
-    parse_pid_status,
-    parse_proc_stat,
-)
+from repro.procfs.parsers import CpuTimes, TaskStat, TaskStatus
 
 __all__ = [
     "list_tasks",
@@ -33,37 +27,33 @@ __all__ = [
 
 def list_tasks(pid: int | str = "self", proc_root: str = "/proc") -> list[int]:
     """TIDs of all live threads of a process."""
-    task_dir = Path(proc_root) / str(pid) / "task"
     try:
-        return sorted(int(t) for t in os.listdir(task_dir))
-    except FileNotFoundError as exc:
+        entries = RealProc(proc_root).listdir(f"/proc/{pid}/task")
+    except ProcFSError as exc:
         raise ProcFSError(f"no such process: {pid}") from exc
+    return sorted(int(t) for t in entries)
 
 
 def read_task(
     pid: int | str, tid: int, proc_root: str = "/proc"
 ) -> tuple[TaskStat, TaskStatus]:
     """One thread's parsed stat + status."""
-    base = Path(proc_root) / str(pid) / "task" / str(tid)
     try:
-        stat = parse_pid_stat((base / "stat").read_text())
-        status = parse_pid_status((base / "status").read_text())
-    except FileNotFoundError as exc:
+        return _collectors.read_task(RealProc(proc_root), pid, tid)
+    except ProcFSError as exc:
         raise ProcFSError(f"task {tid} of {pid} vanished") from exc
-    return stat, status
 
 
 def read_cpu_times(proc_root: str = "/proc") -> dict[int, CpuTimes]:
     """Per-CPU jiffy counters from the host /proc/stat."""
-    return parse_proc_stat((Path(proc_root) / "stat").read_text())
+    return _collectors.read_cpu_times(RealProc(proc_root))
 
 
 def read_meminfo(proc_root: str = "/proc") -> dict[str, int]:
     """The host /proc/meminfo, in KiB."""
-    return parse_meminfo((Path(proc_root) / "meminfo").read_text())
+    return _collectors.read_meminfo(RealProc(proc_root))
 
 
 def read_uptime_seconds(proc_root: str = "/proc") -> float:
     """Host uptime in seconds."""
-    text = (Path(proc_root) / "uptime").read_text()
-    return float(text.split()[0])
+    return float((Path(proc_root) / "uptime").read_text().split()[0])

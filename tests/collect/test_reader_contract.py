@@ -1,0 +1,159 @@
+"""ProcReader contract: the same collectors over both substrates.
+
+The §3.1/§3.5 claim made testable: a simulated ``ProcFS`` and a
+``RealProc`` over a materialized copy of the *same* ``/proc`` tree must
+drive the collectors to byte-identical ``SampleStore`` contents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collect import (
+    HwtCollector,
+    LwpCollector,
+    MemoryCollector,
+    ProcReader,
+    RealProc,
+    SampleStore,
+    read_cpu_times,
+    read_meminfo,
+    read_task,
+)
+from repro.errors import ProcFSError
+from repro.kernel import Compute, SimKernel, Sleep
+from repro.procfs import ProcFS
+from repro.topology import CpuSet, generic_node
+
+
+@pytest.fixture
+def world():
+    kernel = SimKernel(generic_node(cores=2))
+
+    def main():
+        yield Compute(12, user_frac=0.8)
+        yield Sleep(5)
+        yield Compute(40)
+
+    proc = kernel.spawn_process(
+        kernel.nodes[0], CpuSet([0, 1]), main(), command="demo"
+    )
+
+    def worker():
+        yield Compute(30)
+
+    kernel.spawn_thread(proc, worker(), name="w")
+    kernel.run(max_ticks=8)  # stop mid-run so every thread is alive
+    fs = ProcFS(kernel, kernel.nodes[0], self_pid=proc.pid)
+    return kernel, proc, fs
+
+
+def materialize(fs: ProcFS, pid: int, root) -> RealProc:
+    """Copy the rendered /proc files a monitor touches into a real tree."""
+    for name in ("stat", "meminfo", "uptime"):
+        (root / name).write_text(fs.read(f"/proc/{name}"))
+    piddir = root / str(pid)
+    piddir.mkdir()
+    for name in ("stat", "status", "io"):
+        (piddir / name).write_text(fs.read(f"/proc/{pid}/{name}"))
+    for tid in fs.listdir(f"/proc/{pid}/task"):
+        taskdir = piddir / "task" / tid
+        taskdir.mkdir(parents=True)
+        for name in ("stat", "status"):
+            (taskdir / name).write_text(
+                fs.read(f"/proc/{pid}/task/{tid}/{name}")
+            )
+    return RealProc(root)
+
+
+def collect_all(reader, pid: int, cpus) -> SampleStore:
+    store = SampleStore()
+    snaps = LwpCollector(reader, store, pid).collect(100.0)
+    HwtCollector(reader, store, cpus).collect(100.0)
+    MemoryCollector(reader, store, pid).collect(100.0)
+    store.commit(100.0, snaps)
+    return store
+
+
+class TestProtocol:
+    def test_both_implementations_conform(self, world, tmp_path):
+        _, proc, fs = world
+        assert isinstance(fs, ProcReader)
+        assert isinstance(materialize(fs, proc.pid, tmp_path), ProcReader)
+
+    def test_non_proc_path_rejected(self, tmp_path):
+        with pytest.raises(ProcFSError):
+            RealProc(tmp_path).read("/etc/passwd")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ProcFSError):
+            RealProc(tmp_path).read("/proc/stat")
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ProcFSError):
+            RealProc(tmp_path).listdir("/proc/12345/task")
+
+    def test_listdir_sorted_like_procfs(self, world, tmp_path):
+        _, proc, fs = world
+        real = materialize(fs, proc.pid, tmp_path)
+        path = f"/proc/{proc.pid}/task"
+        assert real.listdir(path) == fs.listdir(path)
+
+
+class TestContract:
+    """Same tree, either reader -> identical store contents."""
+
+    def test_parsed_helpers_agree(self, world, tmp_path):
+        _, proc, fs = world
+        real = materialize(fs, proc.pid, tmp_path)
+        assert read_task(fs, proc.pid, proc.pid) == read_task(
+            real, proc.pid, proc.pid
+        )
+        assert read_cpu_times(fs) == read_cpu_times(real)
+        assert read_meminfo(fs) == read_meminfo(real)
+
+    def test_stores_identical(self, world, tmp_path):
+        _, proc, fs = world
+        real = materialize(fs, proc.pid, tmp_path)
+        cpus = [0, 1]
+        sim_store = collect_all(fs, proc.pid, cpus)
+        real_store = collect_all(real, proc.pid, cpus)
+
+        assert sim_store.observed_tids() == real_store.observed_tids()
+        for tid in sim_store.observed_tids():
+            np.testing.assert_array_equal(
+                sim_store.lwp_series[tid].array,
+                real_store.lwp_series[tid].array,
+            )
+        assert sim_store.lwp_names == real_store.lwp_names
+        assert sim_store.lwp_affinity == real_store.lwp_affinity
+        assert sorted(sim_store.hwt_series) == sorted(real_store.hwt_series)
+        for cpu in sim_store.hwt_series:
+            np.testing.assert_array_equal(
+                sim_store.hwt_series[cpu].array,
+                real_store.hwt_series[cpu].array,
+            )
+        np.testing.assert_array_equal(
+            sim_store.mem_series.array, real_store.mem_series.array
+        )
+        assert sim_store.prev_totals == real_store.prev_totals
+
+    def test_missing_process_policy(self, tmp_path):
+        reader = RealProc(tmp_path)  # empty tree: no such process
+        store = SampleStore()
+        ignore = LwpCollector(reader, store, 999, missing_process="ignore")
+        assert ignore.collect(1.0) == []
+        assert store.observed_tids() == []
+        with pytest.raises(ProcFSError):
+            LwpCollector(reader, store, 999).collect(1.0)
+
+    def test_dead_thread_race_skipped(self, world, tmp_path):
+        """A tid listed but unreadable is skipped, not fatal."""
+        _, proc, fs = world
+        real = materialize(fs, proc.pid, tmp_path)
+        ghost = tmp_path / str(proc.pid) / "task" / "424242"
+        ghost.mkdir()  # directory exists, stat/status vanished
+        store = SampleStore()
+        snaps = LwpCollector(real, store, proc.pid).collect(5.0)
+        assert 424242 not in store.lwp_series
+        assert 424242 not in {s.tid for s in snaps}
+        assert store.observed_tids()  # the live threads still recorded

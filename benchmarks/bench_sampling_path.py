@@ -1,0 +1,108 @@
+"""Sampling-path performance guard: samples/second through a reader.
+
+Not a paper artefact — a regression guard for the collection pipeline.
+The simulated ``ProcFS`` offers two tiers: the textual ``ProcReader``
+path (render ``/proc`` text, reparse it) and the snapshot fast path
+(``read_tasks_raw``/``read_cpu_times_raw``, structured counters with
+no text round trip).  Both are contractually bit-identical; this bench
+measures how much the fast tier buys on a Table-2-sized node (64
+threads across 8 processes) and guards the speedup from regressing.
+
+Headline numbers land in ``BENCH_sampling.json`` at the repo root.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from bench_simulator_throughput import record_result
+from common import banner
+from repro.collect import HwtCollector, LwpCollector, SampleStore
+from repro.kernel import Compute, SimKernel, Sleep
+from repro.procfs import ProcFS
+from repro.topology import CpuSet, frontier_node
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sampling.json"
+
+SAMPLES = 100
+#: the fast tier must stay at least this many times quicker than text
+MIN_SPEEDUP = 2.0
+
+
+def _world():
+    """One Frontier node mid-run: 8 procs x 8 threads, all alive."""
+    kernel = SimKernel(frontier_node())
+    pids = []
+
+    def gen():
+        for _ in range(20):
+            yield Compute(5)
+            yield Sleep(3)
+
+    for r in range(8):
+        cpus = CpuSet.range(1 + 8 * r, 8 + 8 * r)
+        proc = kernel.spawn_process(kernel.nodes[0], cpus, gen())
+        for _ in range(7):
+            kernel.spawn_thread(proc, gen())
+        pids.append(proc.pid)
+    kernel.run(max_ticks=50)
+    fs = ProcFS(kernel, kernel.nodes[0])
+    return fs, pids
+
+
+def _sample_loop(fs, pids, snapshots):
+    cpus = list(range(64))
+    store = SampleStore()
+    lwp_collectors = [
+        LwpCollector(fs, store, pid, snapshots=snapshots) for pid in pids
+    ]
+    hwt = HwtCollector(fs, store, cpus, snapshots=snapshots)
+    rows = 0
+    for i in range(SAMPLES):
+        tick = float(i)
+        for collector in lwp_collectors:
+            rows += len(collector.collect(tick))
+        hwt.collect(tick)
+    return rows
+
+
+@pytest.mark.parametrize("tier", ["text", "snapshot"])
+def test_sampling_throughput(benchmark, tier):
+    fs, pids = _world()
+    snapshots = tier == "snapshot"
+    rows = benchmark.pedantic(
+        lambda: _sample_loop(fs, pids, snapshots), rounds=3, iterations=1
+    )
+    seconds = benchmark.stats["mean"]
+    samples_per_sec = SAMPLES / seconds
+    rows_per_sec = rows / seconds
+    banner(f"Sampling throughput [{tier} tier] (64 LWPs, 64 HWTs)",
+           "collection-pipeline regression guard, not a paper artefact")
+    print(f"{samples_per_sec:,.0f} full sweeps/s "
+          f"({rows_per_sec:,.0f} thread rows/s)")
+    benchmark.extra_info.update(
+        tier=tier, samples=SAMPLES, lwp_rows=rows,
+        samples_per_sec=samples_per_sec,
+    )
+    record_result(RESULTS_PATH, tier, {
+        "samples": SAMPLES,
+        "lwp_rows": rows,
+        "samples_per_sec": round(samples_per_sec, 1),
+        "mean_seconds": seconds,
+    })
+    if tier == "snapshot":
+        # the text tier runs first in the parametrize order, so its
+        # numbers are already on disk: guard the speedup itself
+        import json
+
+        data = json.loads(RESULTS_PATH.read_text())
+        if "text" in data:
+            speedup = samples_per_sec / data["text"]["samples_per_sec"]
+            print(f"snapshot tier speedup over text: {speedup:.1f}x")
+            record_result(RESULTS_PATH, "speedup", {
+                "snapshot_over_text": round(speedup, 2),
+                "floor": MIN_SPEEDUP,
+            })
+            assert speedup > MIN_SPEEDUP, (
+                f"snapshot tier only {speedup:.2f}x faster than text"
+            )

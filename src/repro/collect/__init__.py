@@ -20,13 +20,20 @@ from repro.collect.collectors import (
     read_task,
 )
 from repro.collect.engine import CollectionEngine
-from repro.collect.reader import ProcReader, RealProc
+from repro.collect.reader import (
+    ProcReader,
+    RealProc,
+    SnapshotProcReader,
+    TaskCounters,
+)
 from repro.collect.report import ReportBuilder
 from repro.collect.replay import ReplayZeroSum
 from repro.collect.store import SampleStore
 
 __all__ = [
     "ProcReader",
+    "SnapshotProcReader",
+    "TaskCounters",
     "RealProc",
     "Collector",
     "LwpCollector",

@@ -79,6 +79,11 @@ class LwpCollector:
     lets the error propagate so its loop can stop.  Individual threads
     that die between ``listdir`` and the reads are always skipped — the
     dead-thread race of a real ``/proc``.
+
+    When the reader implements the snapshot tier
+    (``read_tasks_raw``, see :mod:`repro.collect.reader`) and
+    ``snapshots`` is left on, the collector samples through it —
+    identical rows, no text rendered or parsed.
     """
 
     def __init__(
@@ -88,14 +93,18 @@ class LwpCollector:
         pid: int,
         *,
         missing_process: str = "raise",
+        snapshots: bool = True,
     ):
         self.reader = reader
         self.store = store
         self.pid = pid
         self.missing_process = missing_process
+        self._raw = getattr(reader, "read_tasks_raw", None) if snapshots else None
 
     def collect(self, tick: float) -> list[ThreadSnapshot]:
         """Sample every live thread of the process."""
+        if self._raw is not None:
+            return self._collect_raw(tick)
         try:
             tids = [int(t) for t in self.reader.listdir(f"/proc/{self.pid}/task")]
         except Exception:
@@ -133,18 +142,69 @@ class LwpCollector:
             )
         return snapshots
 
+    def _collect_raw(self, tick: float) -> list[ThreadSnapshot]:
+        """Snapshot-tier sampling: same rows, no text round trip."""
+        try:
+            tasks = self._raw(self.pid)
+        except Exception:
+            if self.missing_process == "ignore":
+                return []
+            raise
+        snapshots: list[ThreadSnapshot] = []
+        for t in tasks:
+            self.store.add_lwp_row(
+                t.tid,
+                (
+                    tick,
+                    state_code(t.state),
+                    t.utime,
+                    t.stime,
+                    t.nvcsw,
+                    t.vcsw,
+                    t.minflt,
+                    t.majflt,
+                    t.processor,
+                ),
+                name=t.comm,
+                affinity=t.affinity,
+            )
+            snapshots.append(
+                ThreadSnapshot(
+                    tid=t.tid,
+                    state=t.state,
+                    total_jiffies=t.utime + t.stime,
+                )
+            )
+        return snapshots
+
 
 class HwtCollector:
-    """§3.2: ``/proc/stat`` restricted to the process's allowed CPUs."""
+    """§3.2: ``/proc/stat`` restricted to the process's allowed CPUs.
 
-    def __init__(self, reader: ProcReader, store: SampleStore, cpus):
+    Uses the reader's snapshot tier (``read_cpu_times_raw``) when
+    available and ``snapshots`` is left on; falls back to parsing the
+    rendered text otherwise.
+    """
+
+    def __init__(
+        self,
+        reader: ProcReader,
+        store: SampleStore,
+        cpus,
+        *,
+        snapshots: bool = True,
+    ):
         self.reader = reader
         self.store = store
         self.cpus = cpus
+        self._raw = getattr(reader, "read_cpu_times_raw", None) if snapshots else None
 
     def collect(self, tick: float) -> list[ThreadSnapshot]:
         """Record user/system/idle/iowait for each allowed CPU."""
-        cpu_times = read_cpu_times(self.reader)
+        if self._raw is not None:
+            cpu_times = self._raw()
+        else:
+            cpu_times = read_cpu_times(self.reader)
         for cpu in self.cpus:
             times = cpu_times.get(cpu)
             if times is None:

@@ -15,6 +15,17 @@ Because both speak the same paths and raise the same
 :class:`~repro.errors.ProcFSError`, the parsers and collectors are
 invoked from exactly one place regardless of substrate — the paper's
 §3.1/§3.5 claim that one monitoring pipeline runs unchanged anywhere.
+
+The protocol is two-tier.  Every reader speaks the textual tier
+(``read``/``listdir``).  A reader that *owns* structured state — the
+simulated ``ProcFS`` — may additionally implement the **snapshot
+tier** (:class:`SnapshotProcReader`): ``read_tasks_raw`` and
+``read_cpu_times_raw`` return parsed counter records directly, letting
+collectors skip the render-text-then-reparse round trip.  Collectors
+probe for the tier with ``getattr`` and silently fall back to text, so
+:class:`RealProc` (and any trace reader) needs no changes.  Both tiers
+are contractually bit-identical — enforced by
+``tests/collect/test_reader_contract.py``.
 """
 
 from __future__ import annotations
@@ -23,8 +34,9 @@ from pathlib import Path, PurePosixPath
 from typing import Protocol, runtime_checkable
 
 from repro.errors import ProcFSError
+from repro.procfs.parsers import CpuTimes, TaskCounters
 
-__all__ = ["ProcReader", "RealProc"]
+__all__ = ["ProcReader", "SnapshotProcReader", "RealProc", "TaskCounters"]
 
 
 @runtime_checkable
@@ -37,6 +49,24 @@ class ProcReader(Protocol):
 
     def listdir(self, path: str) -> list[str]:
         """List the entries of one ``/proc/...`` directory."""
+        ...
+
+
+@runtime_checkable
+class SnapshotProcReader(ProcReader, Protocol):
+    """Optional fast tier: structured counters without text rendering.
+
+    Implementations must return exactly what parsing the textual tier
+    would yield — integer-floored jiffies, string-sorted task order,
+    the aggregate ``/proc/stat`` row under key ``-1``.
+    """
+
+    def read_tasks_raw(self, pid: int | str) -> list[TaskCounters]:
+        """Counters for each live thread of ``pid``, in listdir order."""
+        ...
+
+    def read_cpu_times_raw(self) -> dict[int, CpuTimes]:
+        """Per-CPU jiffies keyed by OS index, aggregate under ``-1``."""
         ...
 
 

@@ -169,6 +169,38 @@ class GpuDevice:
         )
         self.temperature_c += 0.02 * (target_temp - self.temperature_c)
 
+    def idle_fast_forward(self, ticks: int) -> None:
+        """Advance ``ticks`` jiffies of a fully idle device.
+
+        Bit-identical to calling :meth:`tick` that many times with an
+        empty queue: the same DVFS decay, power tracking, energy
+        integration and thermal lag are applied tick by tick (the
+        recurrences are float-order-sensitive, so they cannot be
+        collapsed into a closed form without changing the sensors the
+        monitor samples).  The RNG is untouched — idle ticks draw no
+        noise.  Callers must ensure no kernel is queued or active.
+        """
+        if self.active is not None or self.queue:
+            raise GpuError("idle_fast_forward on a busy device")
+        clock_span = self.max_clock_mhz - self.min_clock_mhz
+        power_span = self.max_power_w - self.idle_power_w
+        for _ in range(ticks):
+            self.total_jiffies += 1.0
+            self.clock_gfx_mhz += 0.5 * (self.min_clock_mhz - self.clock_gfx_mhz)
+            frac = (self.clock_gfx_mhz - self.min_clock_mhz) / clock_span
+            power = self.idle_power_w + frac * power_span
+            # same selection np.clip performs, without the ufunc overhead
+            if power < self.idle_power_w:
+                power = self.idle_power_w
+            elif power > self.max_power_w:
+                power = self.max_power_w
+            self.power_w = power
+            self.energy_j += power * 0.01
+            target_temp = self.idle_temp_c + self.temp_per_watt * (
+                power - self.idle_power_w
+            )
+            self.temperature_c += 0.02 * (target_temp - self.temperature_c)
+
     # -- derived sensors ------------------------------------------------------
     @property
     def voltage_mv(self) -> float:

@@ -3,6 +3,14 @@
 Each :class:`HWTState` mirrors one ``cpuN`` line of ``/proc/stat``:
 user / nice / system / idle / iowait counters in jiffies, plus the
 runqueue the simulated scheduler maintains for it.
+
+The HWT is also the unit of the kernel's *active set*: a CPU is active
+exactly while it has a current occupant or a non-empty runqueue, and it
+registers itself with its owning :class:`~repro.kernel.node.SimNode` on
+every transition.  The scheduler's per-tick loop walks only active CPUs
+(a Frontier node has 128 hardware threads, most of them idle in any
+given tick), so fully idle CPUs cost the simulation nothing — their
+idle jiffies are derived, not stored (see :meth:`idle_at`).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
     from repro.kernel.lwp import LWP
+    from repro.kernel.node import SimNode
 
 __all__ = ["HWTState"]
 
@@ -22,7 +31,7 @@ class HWTState:
     __slots__ = (
         "os_index",
         "runqueue",
-        "current",
+        "_current",
         "user",
         "nice",
         "system",
@@ -31,17 +40,23 @@ class HWTState:
         "softirq",
         "preempt_pending",
         "busy_prev",
+        "node",
+        "_active",
     )
 
-    def __init__(self, os_index: int):
+    def __init__(self, os_index: int, node: Optional["SimNode"] = None):
         self.os_index = os_index
+        #: owning node, for active-set registration (None in unit tests)
+        self.node = node
+        #: whether this CPU currently sits in the node's active set
+        self._active: bool = False
         #: set when a wakeup placed a thread here that should preempt
         self.preempt_pending: bool = False
         #: whether this lane executed work last tick (SMT throughput model)
         self.busy_prev: bool = False
         #: runnable LWPs waiting for this CPU (excludes ``current``)
         self.runqueue: deque["LWP"] = deque()
-        self.current: Optional["LWP"] = None
+        self._current: Optional["LWP"] = None
         self.user: float = 0.0
         self.nice: float = 0.0
         self.system: float = 0.0
@@ -49,10 +64,36 @@ class HWTState:
         self.irq: float = 0.0
         self.softirq: float = 0.0
 
+    # -- active-set bookkeeping -------------------------------------------
+    def _activate(self) -> None:
+        if not self._active:
+            self._active = True
+            if self.node is not None:
+                self.node._cpu_activated(self.os_index)
+
+    def _deactivate_if_idle(self) -> None:
+        if self._active and self._current is None and not self.runqueue:
+            self._active = False
+            if self.node is not None:
+                self.node.active_cpus.discard(self.os_index)
+
+    @property
+    def current(self) -> Optional["LWP"]:
+        """The LWP occupying this CPU this tick, if any."""
+        return self._current
+
+    @current.setter
+    def current(self, lwp: Optional["LWP"]) -> None:
+        self._current = lwp
+        if lwp is not None:
+            self._activate()
+        else:
+            self._deactivate_if_idle()
+
     @property
     def nr_running(self) -> int:
         """Runqueue depth including the currently running LWP."""
-        return len(self.runqueue) + (1 if self.current is not None else 0)
+        return len(self.runqueue) + (1 if self._current is not None else 0)
 
     @property
     def busy_jiffies(self) -> float:
@@ -76,6 +117,7 @@ class HWTState:
         else:
             self.runqueue.append(lwp)
         lwp.cur_cpu = self.os_index
+        self._activate()
 
     def dequeue(self, lwp: "LWP") -> None:
         """Remove a thread from the runqueue if queued."""
@@ -83,7 +125,14 @@ class HWTState:
             self.runqueue.remove(lwp)
         except ValueError:
             pass
+        self._deactivate_if_idle()
+
+    def pop_next(self) -> "LWP":
+        """Pop the head of the runqueue (caller checks non-emptiness)."""
+        lwp = self.runqueue.popleft()
+        self._deactivate_if_idle()
+        return lwp
 
     def __repr__(self) -> str:
-        cur = self.current.tid if self.current else None
+        cur = self._current.tid if self._current else None
         return f"<HWT {self.os_index} running={cur} queued={len(self.runqueue)}>"

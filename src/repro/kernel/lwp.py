@@ -82,7 +82,11 @@ class LWP:
         self.exit_tick: Optional[int] = None
 
         # -- scheduling state --
-        self.state = ThreadState.RUNNING  # runnable
+        #: registered owner notified on every state transition; the
+        #: kernel uses it to keep O(1) alive/runnable counts so the run
+        #: loop never rescans ``kernel.lwps``
+        self._state_watcher = None
+        self._state = ThreadState.RUNNING  # runnable
         self.cur_cpu: Optional[int] = None  # runqueue assignment
         self.last_cpu: int = self.affinity.first() if self.affinity else 0
         self.current_directive: Optional[Directive] = None
@@ -114,6 +118,17 @@ class LWP:
             self.roles.discard(ThreadRole.OTHER)
 
     # -- state helpers ----------------------------------------------------
+    @property
+    def state(self) -> ThreadState:
+        return self._state
+
+    @state.setter
+    def state(self, new: ThreadState) -> None:
+        old = self._state
+        self._state = new
+        if self._state_watcher is not None and new is not old:
+            self._state_watcher.on_state_change(self, old, new)
+
     @property
     def alive(self) -> bool:
         return self.state not in (ThreadState.ZOMBIE, ThreadState.DEAD)

@@ -6,7 +6,8 @@ one simulated GPU device per :class:`~repro.topology.objects.GpuInfo`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import heapq
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SchedulerError
 from repro.kernel.hwt import HWTState
@@ -30,8 +31,16 @@ class SimNode:
         self.machine = machine
         self.node_index = node_index
         self.hostname = machine.name
+        #: CPUs with a current occupant or a non-empty runqueue; the
+        #: scheduler's per-tick loop walks only these (event-driven
+        #: fast path — idle CPUs are never visited)
+        self.active_cpus: set[int] = set()
+        #: while the scheduler is mid-pass over the active set, CPUs
+        #: activated by wakeups during the pass are also pushed here so
+        #: the pass can pick them up in ascending-CPU order
+        self._activation_watch: Optional[list[int]] = None
         self.hwts: dict[int, HWTState] = {
-            cpu: HWTState(cpu) for cpu in machine.cpuset()
+            cpu: HWTState(cpu, self) for cpu in machine.cpuset()
         }
         self.memory = MemoryAccounting(machine.memory_bytes)
         #: SMT sibling lanes per CPU (excluding the CPU itself)
@@ -43,6 +52,12 @@ class SimNode:
         self.gpus: list[GpuDevice] = [GpuDevice(info) for info in machine.gpus]
         self.io = IoSubsystem()
         self.processes: dict[int, "SimProcess"] = {}
+
+    def _cpu_activated(self, cpu: int) -> None:
+        """Active-set registration hook (called by HWTState)."""
+        self.active_cpus.add(cpu)
+        if self._activation_watch is not None:
+            heapq.heappush(self._activation_watch, cpu)
 
     def hwt(self, os_index: int) -> HWTState:
         """Scheduler state for one CPU."""

@@ -12,8 +12,24 @@ ZeroSum observes through ``/proc`` fall out of this loop:
 * per-HWT user/system/idle jiffies;
 * per-process RSS and node-wide memory.
 
-Determinism: given identical inputs the simulation is bit-identical.
-All stochastic workload behaviour comes from seeded RNGs in the apps.
+The loop is event-driven rather than scan-the-world:
+
+* each node keeps an **active-CPU set** (CPUs with a current occupant
+  or queued work); the per-tick scheduling pass walks only those, so a
+  128-HWT Frontier node with four busy CPUs costs four visits;
+* the kernel keeps **O(1) incremental counters** of alive non-daemon
+  and runnable LWPs (maintained by the LWP state setter), so the run
+  loop's ``alive_work()``/``stalled()`` checks never rescan ``lwps``;
+* when nothing is runnable and no device or I/O work is in flight,
+  :meth:`SimKernel.run` **fast-forwards** the clock straight to the
+  next sleeper/timer deadline, accruing idle jiffies in bulk (idle is
+  derived from the clock, see ``HWTState.idle_at``) and advancing idle
+  GPU sensor decay tick-exactly, so the jump is bit-identical to
+  stepping through the same window.
+
+Determinism: given identical inputs the simulation is bit-identical,
+with fast-forward enabled or not.  All stochastic workload behaviour
+comes from seeded RNGs in the apps.
 """
 
 from __future__ import annotations
@@ -51,6 +67,7 @@ class SimKernel:
         lb_interval: int = 5,
         first_pid: int = 18300,
         smt_efficiency: float = 1.0,
+        fast_forward: bool = True,
     ):
         if isinstance(nodes, (Machine, SimNode)):
             nodes = [nodes]
@@ -71,9 +88,14 @@ class SimKernel:
         #: core pipeline (a thread occupies the lane for a full jiffy
         #: but retires only ``smt_efficiency`` jiffies of work)
         self.smt_efficiency = smt_efficiency
+        #: allow run() to jump the clock over fully idle windows
+        self.fast_forward = fast_forward
         self.clock = Clock()
         self.processes: dict[int, SimProcess] = {}
         self.lwps: dict[int, LWP] = {}
+        # O(1) liveness counters, maintained via LWP state transitions
+        self._nondaemon_alive = 0
+        self._runnable_count = 0
         self._pid_counter = itertools.count(first_pid)
         self._seq = itertools.count()
         # (wake_tick, seq, lwp) min-heap of timed sleeps
@@ -125,6 +147,7 @@ class SimKernel:
         )
         proc.add_thread(main)
         self.lwps[pid] = main
+        self._register_lwp(main)
         self._place_new(main, parent=None)
         return proc
 
@@ -154,8 +177,34 @@ class SimKernel:
         )
         process.add_thread(lwp)
         self.lwps[tid] = lwp
+        self._register_lwp(lwp)
         self._place_new(lwp, parent=parent or process.main_thread)
         return lwp
+
+    def _register_lwp(self, lwp: LWP) -> None:
+        """Start counting this LWP's liveness and runnability."""
+        lwp._state_watcher = self
+        if lwp.alive and not lwp.daemon:
+            self._nondaemon_alive += 1
+        if lwp.state is ThreadState.RUNNING:
+            self._runnable_count += 1
+
+    def on_state_change(
+        self, lwp: LWP, old: ThreadState, new: ThreadState
+    ) -> None:
+        """LWP state-setter hook: keep the O(1) counters current."""
+        if not lwp.daemon:
+            dead = (ThreadState.ZOMBIE, ThreadState.DEAD)
+            was_alive = old not in dead
+            is_alive = new not in dead
+            if was_alive and not is_alive:
+                self._nondaemon_alive -= 1
+            elif is_alive and not was_alive:
+                self._nondaemon_alive += 1
+        if old is ThreadState.RUNNING:
+            self._runnable_count -= 1
+        if new is ThreadState.RUNNING:
+            self._runnable_count += 1
 
     def _place_new(self, lwp: LWP, parent: Optional[LWP]) -> None:
         """Initial runqueue placement: the parent's CPU if allowed, else
@@ -193,17 +242,21 @@ class SimKernel:
             hwt.preempt_pending = True
 
     def _select_wake_cpu(self, lwp: LWP) -> int:
-        """Wake placement: previous CPU if idle, else an idle allowed
-        CPU, else the previous CPU, else least-loaded allowed."""
+        """Wake placement: previous CPU if idle, else the first idle
+        allowed CPU, else the previous CPU, else least-loaded allowed."""
         node = lwp.process.node
         prev = lwp.cur_cpu
-        if prev is not None and prev in lwp.affinity:
-            if node.hwt(prev).nr_running == 0:
-                return prev
-        idle = [c for c in lwp.affinity if node.hwt(c).nr_running == 0]
-        if idle:
-            return idle[0]
-        if prev is not None and prev in lwp.affinity:
+        allowed = prev is not None and prev in lwp.affinity
+        if allowed and prev not in node.active_cpus:
+            return prev
+        # a CPU is idle (nr_running == 0) iff it is not in the active
+        # set; short-circuit on the first allowed one instead of
+        # materializing the whole idle list
+        active = node.active_cpus
+        for c in lwp.affinity:
+            if c not in active:
+                return c
+        if allowed:
             return prev
         return min(lwp.affinity, key=lambda c: (node.hwt(c).nr_running, c))
 
@@ -474,18 +527,28 @@ class SimKernel:
                 dev.tick(self)
             node.io.tick(self)
 
-        # 4. CPU scheduling (fully idle CPUs are skipped; their idle
-        # time is derived, see HWTState.idle_at)
+        # 4. CPU scheduling.  Fully idle CPUs are never visited; their
+        # idle time is derived (HWTState.idle_at).  The walk covers the
+        # node's active set in ascending CPU order, merging in CPUs
+        # activated *during* the pass (a wakeup fired while scheduling
+        # an earlier CPU) exactly like a full ascending scan would:
+        # activations behind the cursor wait for the next tick.
         track_smt = self.smt_efficiency < 1.0
         for node in self.nodes:
-            for hwt in node.hwts.values():
-                if hwt.current is None and not hwt.runqueue:
-                    if track_smt and hwt.busy_prev:
-                        hwt.busy_prev = False
-                    continue
-                self._schedule_hwt(node, hwt)
-                if track_smt:
+            if track_smt:
+                # the SMT model needs busy_prev maintained on every
+                # lane, including freshly idle ones: keep the full scan
+                for hwt in node.hwts.values():
+                    if hwt.current is None and not hwt.runqueue:
+                        if hwt.busy_prev:
+                            hwt.busy_prev = False
+                        continue
+                    self._schedule_hwt(node, hwt)
                     hwt.busy_prev = hwt.current is not None
+                continue
+            if not node.active_cpus:
+                continue
+            self._schedule_active(node)
 
         # 5. iowait: a CPU whose last occupant is blocked on I/O and
         # which sits otherwise empty accrues iowait instead of idle
@@ -506,6 +569,41 @@ class SimKernel:
         # 7. periodic idle balancing
         if self.lb_interval > 0 and self.clock.tick % self.lb_interval == 0:
             self._balance()
+
+    def _schedule_active(self, node: SimNode) -> None:
+        """One scheduling pass over the node's active CPUs, ascending.
+
+        CPUs that become active mid-pass (wakeups out of ``_advance``)
+        are pushed onto a watch heap by the node and merged into the
+        walk if they lie ahead of the cursor — the same set of CPUs a
+        full ascending scan over ``node.hwts`` would have scheduled.
+        """
+        order = sorted(node.active_cpus)
+        pending: list[int] = []
+        node._activation_watch = pending
+        try:
+            i = 0
+            last = -1
+            while True:
+                while pending and pending[0] <= last:
+                    heapq.heappop(pending)  # behind the cursor: next tick
+                nxt = order[i] if i < len(order) else None
+                if pending and (nxt is None or pending[0] < nxt):
+                    cpu = heapq.heappop(pending)
+                else:
+                    if nxt is None:
+                        break
+                    i += 1
+                    if nxt <= last:
+                        continue  # already visited via the watch heap
+                    cpu = nxt
+                last = cpu
+                hwt = node.hwts[cpu]
+                if hwt.current is None and not hwt.runqueue:
+                    continue  # deactivated since the snapshot
+                self._schedule_hwt(node, hwt)
+        finally:
+            node._activation_watch = None
 
     def _schedule_hwt(self, node: SimNode, hwt: HWTState) -> None:
         # preemption decision at the tick boundary; the wake/fork preempt
@@ -529,7 +627,7 @@ class SimKernel:
             if cur is None:
                 if not hwt.runqueue:
                     return  # remaining budget counts as (derived) idle
-                cur = hwt.runqueue.popleft()
+                cur = hwt.pop_next()
                 if not cur.runnable:  # killed while queued
                     continue
                 hwt.current = cur
@@ -572,48 +670,80 @@ class SimKernel:
 
     def _balance(self) -> None:
         """Idle balancing: each idle CPU steals one queued thread whose
-        affinity allows it, from the most loaded CPU on the same node."""
+        affinity allows it, from the most loaded CPU on the same node.
+
+        Donors live in one lazily refreshed min-heap keyed by
+        ``(-nr_running, cpu)`` — the exact visit order the old
+        sort-per-idle-CPU produced (load descending, CPU ascending on
+        ties) without re-sorting the world for every idle CPU.  Stale
+        entries (a donor shrank since push) are re-keyed on pop;
+        drained donors are dropped.
+        """
         for node in self.nodes:
-            idle_cpus = [h for h in node.hwts.values() if h.nr_running == 0]
-            if not idle_cpus:
+            # donors can only be active CPUs with queued (not just
+            # running) work — the common all-idle/all-pinned tick exits
+            # here without touching the full CPU map
+            hwts = node.hwts
+            heap = [
+                (-hwts[c].nr_running, c)
+                for c in node.active_cpus
+                if hwts[c].runqueue
+            ]
+            if not heap:
                 continue
+            heapq.heapify(heap)
+            idle_cpus = [h for h in hwts.values() if h.nr_running == 0]
             for idle in idle_cpus:
-                donor_order = sorted(
-                    (h for h in node.hwts.values() if len(h.runqueue) > 0),
-                    key=lambda h: -h.nr_running,
-                )
                 stolen = None
-                for donor in donor_order:
+                kept: list[tuple[int, int]] = []  # popped, still donors
+                while heap:
+                    neg_nr, cpu = heapq.heappop(heap)
+                    donor = hwts[cpu]
+                    if not donor.runqueue:
+                        continue  # drained: drop permanently
+                    key = (-donor.nr_running, cpu)
+                    if key != (neg_nr, cpu):
+                        heapq.heappush(heap, key)  # re-key and retry
+                        continue
                     if donor.nr_running <= 1:
-                        break
+                        kept.append(key)
+                        break  # every remaining donor is as light
                     for cand in reversed(donor.runqueue):
                         if idle.os_index in cand.affinity:
                             stolen = cand
                             donor.dequeue(cand)
                             break
                     if stolen is not None:
+                        if donor.runqueue:
+                            heapq.heappush(heap, (-donor.nr_running, cpu))
                         break
+                    kept.append(key)  # no movable thread for this CPU
+                for key in kept:
+                    heapq.heappush(heap, key)
                 if stolen is not None:
                     idle.enqueue(stolen)
+                    # the fed CPU now holds one queued thread: it joins
+                    # the donor order (only ever as a break sentinel)
+                    heapq.heappush(heap, (-1, idle.os_index))
 
     # ------------------------------------------------------------------
     # run control
     # ------------------------------------------------------------------
     def alive_work(self) -> bool:
-        """True while any non-daemon LWP is alive."""
-        return any(l.alive for l in self.lwps.values() if not l.daemon)
+        """True while any non-daemon LWP is alive (O(1), counted)."""
+        return self._nondaemon_alive > 0
 
     def has_runnable(self) -> bool:
-        """True if any live LWP is currently runnable."""
-        return any(l.runnable for l in self.lwps.values() if l.alive)
+        """True if any live LWP is currently runnable (O(1), counted)."""
+        return self._runnable_count > 0
 
     def stalled(self) -> bool:
         """True if nothing can ever make progress again: non-daemon work
         remains but no LWP is runnable and no timer/sleeper/device event
         is pending."""
-        if not self.alive_work():
+        if self._runnable_count > 0:
             return False
-        if self.has_runnable():
+        if self._nondaemon_alive == 0:
             return False
         if self._sleepers or self._timers:
             return False
@@ -622,6 +752,45 @@ class SimKernel:
         if any(node.io.inflight for node in self.nodes):
             return False
         return True
+
+    # -- idle fast-forward ----------------------------------------------
+    def _quiescent(self) -> bool:
+        """No CPU, device, or I/O work anywhere: only the clock moves."""
+        if self._runnable_count > 0:
+            return False
+        for node in self.nodes:
+            if node.active_cpus or node.io.inflight:
+                return False
+            for dev in node.gpus:
+                if dev.pending_kernels:
+                    return False
+        return True
+
+    def _next_event_tick(self) -> Optional[int]:
+        """Earliest pending sleeper or timer deadline, if any."""
+        candidates = []
+        if self._sleepers:
+            candidates.append(self._sleepers[0][0])
+        if self._timers:
+            candidates.append(self._timers[0][0])
+        return min(candidates) if candidates else None
+
+    def _fast_forward_to(self, target: int) -> None:
+        """Jump the clock to ``target``, bit-identical to stepping.
+
+        Only legal from a quiescent state: idle jiffies are derived
+        from the clock, iowait needs in-flight I/O (there is none), and
+        idle GPU sensor decay is replayed tick-exactly by the device.
+        """
+        delta = target - self.clock.tick
+        for node in self.nodes:
+            for dev in node.gpus:
+                dev.idle_fast_forward(delta)
+            if self.smt_efficiency < 1.0:
+                # a stepped idle tick clears the SMT busy-prev flags
+                for hwt in node.hwts.values():
+                    hwt.busy_prev = False
+        self.clock.advance(delta)
 
     def run(
         self,
@@ -635,8 +804,17 @@ class SimKernel:
         :class:`~repro.errors.DeadlockError` on a true stall unless
         ``raise_on_stall`` is false (the heartbeat experiments disable
         it and let the ZeroSum monitor make the diagnosis).
+
+        When :attr:`fast_forward` is set (the default) and the run has
+        no per-tick ``until`` predicate or ``on_tick`` observers, fully
+        idle windows — every LWP blocked, nothing in flight — are
+        jumped in one clock advance to the next sleeper/timer deadline
+        instead of being stepped through one jiffy at a time.  The jump
+        is bit-identical to stepping (see ``tests/kernel``'s
+        determinism suite).
         """
         start = self.clock.tick
+        may_jump = self.fast_forward and until is None
         while self.clock.tick - start < max_ticks:
             if not self.alive_work():
                 break
@@ -651,6 +829,11 @@ class SimKernel:
                         f"blocked LWPs: {blocked}"
                     )
                 break
+            if may_jump and not self.on_tick and self._quiescent():
+                target = self._next_event_tick()
+                if target is not None and target > self.clock.tick:
+                    self._fast_forward_to(min(target, start + max_ticks))
+                    continue
             self.step()
         return self.clock.tick - start
 

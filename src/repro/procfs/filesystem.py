@@ -6,25 +6,33 @@ each task's ``stat``/``status``.  :class:`ProcFS` answers those reads
 from simulator state, rendering real kernel text formats on the fly,
 so the monitor code is substrate-agnostic (see :mod:`repro.live` for
 the real-/proc twin).
+
+Two performance-minded design points:
+
+* **Path router.**  Reads are routed by splitting the path once and
+  dispatching top-level files through a dict built at construction —
+  no regex engine runs on the per-sample hot path.
+* **Snapshot fast path.**  Beyond the textual ``ProcReader`` protocol,
+  :class:`ProcFS` offers :meth:`read_tasks_raw` and
+  :meth:`read_cpu_times_raw`, which hand collectors structured
+  counters directly and skip the render-text-then-reparse round trip.
+  The values are floored and trimmed exactly as the renderers would,
+  so both paths yield bit-identical samples (see the reader contract
+  tests).  Real ``/proc`` readers simply do not implement these
+  methods and keep the text path.
 """
 
 from __future__ import annotations
-
-import re
 
 from repro.errors import ProcFSError
 from repro.kernel.node import SimNode
 from repro.kernel.scheduler import SimKernel
 from repro.procfs import formats
+from repro.procfs.parsers import CpuTimes, TaskCounters
 
 __all__ = ["ProcFS"]
 
-_PATH_RE = re.compile(
-    r"^/proc/(?:"
-    r"(?P<top>stat|meminfo|uptime)"
-    r"|(?P<pid>\d+|self)(?P<rest>(?:/.*)?)"
-    r")$"
-)
+_PID_DIR_ENTRIES = ["stat", "status", "task", "cmdline", "io"]
 
 
 class ProcFS:
@@ -35,6 +43,23 @@ class ProcFS:
         self.node = node
         #: pid that the alias ``/proc/self`` resolves to
         self.self_pid = self_pid
+        # precompiled router for the top-level files
+        self._top_router = {
+            "stat": self._render_proc_stat,
+            "meminfo": self._render_meminfo,
+            "uptime": self._render_uptime,
+        }
+
+    # -- top-level renderers ----------------------------------------------
+    def _render_proc_stat(self) -> str:
+        return formats.render_proc_stat(self.node, self.kernel.now)
+
+    def _render_meminfo(self) -> str:
+        return formats.render_meminfo(self.node)
+
+    def _render_uptime(self) -> str:
+        total_idle = sum(h.idle_at(self.kernel.now) for h in self.node.hwts.values())
+        return formats.render_uptime(self.kernel.now, total_idle)
 
     # -- path resolution --------------------------------------------------
     def _resolve_pid(self, pid_text: str) -> int:
@@ -46,20 +71,17 @@ class ProcFS:
 
     def read(self, path: str) -> str:
         """Read a /proc file; raises ProcFSError for unknown paths."""
-        m = _PATH_RE.match(path)
-        if not m:
+        if not path.startswith("/proc/"):
             raise ProcFSError(f"no such file: {path}")
-        if m.group("top"):
-            top = m.group("top")
-            if top == "stat":
-                return formats.render_proc_stat(self.node, self.kernel.now)
-            if top == "meminfo":
-                return formats.render_meminfo(self.node)
-            total_idle = sum(h.idle_at(self.kernel.now) for h in self.node.hwts.values())
-            return formats.render_uptime(self.kernel.now, total_idle)
+        head, sep, tail = path[6:].partition("/")
+        if not sep:
+            render = self._top_router.get(head)
+            if render is not None:
+                return render()
+        if head != "self" and not head.isdecimal():
+            raise ProcFSError(f"no such file: {path}")
 
-        pid = self._resolve_pid(m.group("pid"))
-        rest = (m.group("rest") or "").strip("/")
+        pid = self._resolve_pid(head)
         proc = self.node.processes.get(pid)
         lwp = None
         if proc is None:
@@ -68,6 +90,7 @@ class ProcFS:
             if lwp is None or lwp.process.node is not self.node:
                 raise ProcFSError(f"no such process: {pid}")
             proc = lwp.process
+        rest = tail.strip("/")
         parts = rest.split("/") if rest else []
 
         if not parts:
@@ -98,26 +121,94 @@ class ProcFS:
 
     def listdir(self, path: str) -> list[str]:
         """List a /proc directory (only the ones the monitor needs)."""
-        m = _PATH_RE.match(path)
-        if m and m.group("top"):
-            raise ProcFSError(f"{path} is not a directory")
         if path.rstrip("/") == "/proc":
-            return sorted(str(pid) for pid in self.node.processes)
-        if not m:
+            # only live processes are listed, like the real kernel;
+            # exited pids remain addressable through read()
+            return sorted(
+                str(pid) for pid, p in self.node.processes.items() if p.alive
+            )
+        if not path.startswith("/proc/"):
             raise ProcFSError(f"no such directory: {path}")
-        pid = self._resolve_pid(m.group("pid"))
-        rest = (m.group("rest") or "").strip("/")
+        head, sep, tail = path[6:].partition("/")
+        if not sep and head in self._top_router:
+            raise ProcFSError(f"{path} is not a directory")
+        if head != "self" and not head.isdecimal():
+            raise ProcFSError(f"no such directory: {path}")
+        pid = self._resolve_pid(head)
         proc = self.node.processes.get(pid)
         if proc is None:
             raise ProcFSError(f"no such process: {pid}")
+        rest = tail.strip("/")
         if rest == "":
-            return ["stat", "status", "task", "cmdline", "io"]
+            return list(_PID_DIR_ENTRIES)
         if rest == "task":
             # live tasks only, like the real kernel
             return sorted(
                 str(tid) for tid, t in proc.threads.items() if t.alive
             )
         raise ProcFSError(f"no such directory: {path}")
+
+    # -- snapshot fast path ------------------------------------------------
+    def read_tasks_raw(self, pid: int | str) -> list[TaskCounters]:
+        """Structured counters for every live thread of ``pid``.
+
+        Equivalent to ``listdir(/proc/<pid>/task)`` followed by parsing
+        each task's ``stat`` + ``status`` — same thread set, same
+        (string-sorted) order, same integer flooring of jiffies — but
+        without rendering or parsing any text.
+        """
+        resolved = self._resolve_pid(str(pid))
+        proc = self.node.processes.get(resolved)
+        if proc is None:
+            raise ProcFSError(f"no such process: {resolved}")
+        comm = proc.command.split("/")[-1][:15]
+        alive = [(str(tid), lwp) for tid, lwp in proc.threads.items() if lwp.alive]
+        alive.sort(key=lambda item: item[0])
+        return [
+            TaskCounters(
+                tid=lwp.tid,
+                comm=comm,
+                state=lwp.state.value,
+                utime=int(lwp.utime),
+                stime=int(lwp.stime),
+                minflt=lwp.minflt,
+                majflt=lwp.majflt,
+                vcsw=lwp.vcsw,
+                nvcsw=lwp.nvcsw,
+                processor=lwp.last_cpu,
+                affinity=lwp.affinity,
+            )
+            for _, lwp in alive
+        ]
+
+    def read_cpu_times_raw(self) -> dict[int, CpuTimes]:
+        """Per-CPU jiffy counters, keyed like :func:`parse_proc_stat`.
+
+        Equivalent to parsing :meth:`read` of ``/proc/stat`` — the same
+        integer flooring per CPU and the aggregate (key ``-1``) summed
+        from the floored per-CPU values — without the text round trip.
+        """
+        now = self.kernel.now
+        per_cpu: dict[int, CpuTimes] = {}
+        tot = [0] * 8
+        for cpu in sorted(self.node.hwts):
+            h = self.node.hwts[cpu]
+            vals = (
+                int(h.user),
+                int(h.nice),
+                int(h.system),
+                int(h.idle_at(now)),
+                int(h.iowait),
+                int(h.irq),
+                int(h.softirq),
+                0,  # steal
+            )
+            per_cpu[cpu] = CpuTimes(cpu, *vals)
+            for i, v in enumerate(vals):
+                tot[i] += v
+        result: dict[int, CpuTimes] = {-1: CpuTimes(-1, *tot)}
+        result.update(per_cpu)
+        return result
 
     def _mask_words(self) -> int:
         ncpus = max(self.node.hwts) + 1 if self.node.hwts else 1

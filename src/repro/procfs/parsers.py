@@ -19,6 +19,7 @@ __all__ = [
     "parse_pid_io",
     "TaskStat",
     "TaskStatus",
+    "TaskCounters",
     "CpuTimes",
     "parse_pid_stat",
     "parse_pid_status",
@@ -60,6 +61,33 @@ class TaskStatus:
     cpus_allowed: CpuSet
     voluntary_ctxt_switches: int
     nonvoluntary_ctxt_switches: int
+
+
+@dataclass(frozen=True)
+class TaskCounters:
+    """One thread's sampled counters, independent of text formats.
+
+    This is the record of the **snapshot fast path**: a reader that
+    can answer structured queries (the simulated ``ProcFS``) hands
+    these to the LWP collector directly, skipping the render-text/
+    re-parse round trip of ``stat`` + ``status``.  Field values are
+    defined to be *exactly* what parsing the rendered text would
+    yield — integer-floored jiffies, one-letter state, the trimmed
+    ``comm`` — so both paths produce identical samples (enforced by
+    the reader contract tests).
+    """
+
+    tid: int
+    comm: str
+    state: str  # one-letter task state, as in /proc/<pid>/stat
+    utime: int
+    stime: int
+    minflt: int
+    majflt: int
+    vcsw: int
+    nvcsw: int
+    processor: int
+    affinity: CpuSet
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from repro.collect import (
     ProcReader,
     RealProc,
     SampleStore,
+    SnapshotProcReader,
     read_cpu_times,
     read_meminfo,
     read_task,
@@ -157,3 +158,105 @@ class TestContract:
         assert 424242 not in store.lwp_series
         assert 424242 not in {s.tid for s in snaps}
         assert store.observed_tids()  # the live threads still recorded
+
+
+def _assert_stores_equal(a: SampleStore, b: SampleStore) -> None:
+    assert a.observed_tids() == b.observed_tids()
+    for tid in a.observed_tids():
+        np.testing.assert_array_equal(
+            a.lwp_series[tid].array, b.lwp_series[tid].array
+        )
+    assert a.lwp_names == b.lwp_names
+    assert a.lwp_affinity == b.lwp_affinity
+    assert sorted(a.hwt_series) == sorted(b.hwt_series)
+    for cpu in a.hwt_series:
+        np.testing.assert_array_equal(
+            a.hwt_series[cpu].array, b.hwt_series[cpu].array
+        )
+    assert a.prev_totals == b.prev_totals
+
+
+class TestSnapshotTier:
+    """The structured fast path must be indistinguishable from text."""
+
+    def test_only_procfs_implements_the_tier(self, world, tmp_path):
+        _, proc, fs = world
+        assert isinstance(fs, SnapshotProcReader)
+        real = materialize(fs, proc.pid, tmp_path)
+        assert not isinstance(real, SnapshotProcReader)
+
+    def test_raw_tasks_match_text(self, world):
+        _, proc, fs = world
+        raw = fs.read_tasks_raw(proc.pid)
+        listed = [int(t) for t in fs.listdir(f"/proc/{proc.pid}/task")]
+        assert [t.tid for t in raw] == listed  # same threads, same order
+        for t in raw:
+            stat, status = read_task(fs, proc.pid, t.tid)
+            assert t.comm == stat.comm
+            assert t.state == stat.state
+            assert (t.utime, t.stime) == (stat.utime, stat.stime)
+            assert (t.minflt, t.majflt) == (stat.minflt, stat.majflt)
+            assert t.vcsw == status.voluntary_ctxt_switches
+            assert t.nvcsw == status.nonvoluntary_ctxt_switches
+            assert t.processor == stat.processor
+            assert t.affinity == status.cpus_allowed
+
+    def test_raw_cpu_times_match_text(self, world):
+        _, _, fs = world
+        assert fs.read_cpu_times_raw() == read_cpu_times(fs)
+
+    def test_raw_missing_process_policy(self, world):
+        _, _, fs = world
+        store = SampleStore()
+        ignore = LwpCollector(fs, store, 424242, missing_process="ignore")
+        assert ignore.collect(1.0) == []
+        assert store.observed_tids() == []
+        with pytest.raises(ProcFSError):
+            LwpCollector(fs, store, 424242).collect(1.0)
+
+    def test_snapshots_flag_opts_out(self, world):
+        _, proc, fs = world
+        store = SampleStore()
+        assert LwpCollector(fs, store, proc.pid, snapshots=False)._raw is None
+        assert HwtCollector(fs, store, [0], snapshots=False)._raw is None
+        assert LwpCollector(fs, store, proc.pid)._raw is not None
+        assert HwtCollector(fs, store, [0])._raw is not None
+
+    def test_fast_and_text_stores_identical_over_run(self):
+        """Sample a full simulated run through both tiers in lockstep:
+        every committed row, name, and affinity must be identical."""
+        kernel = SimKernel(generic_node(cores=2))
+        node = kernel.nodes[0]
+
+        def main():
+            for _ in range(6):
+                yield Compute(7, user_frac=0.6)
+                yield Sleep(23)
+
+        proc = kernel.spawn_process(node, CpuSet([0, 1]), main(),
+                                    command="demo")
+
+        def worker():
+            for _ in range(4):
+                yield Compute(11)
+                yield Sleep(31)
+
+        kernel.spawn_thread(proc, worker(), name="w")
+        fs = ProcFS(kernel, node, self_pid=proc.pid)
+        cpus = [0, 1]
+        fast_store, text_store = SampleStore(), SampleStore()
+        fast_lwp = LwpCollector(fs, fast_store, proc.pid)
+        fast_hwt = HwtCollector(fs, fast_store, cpus)
+        text_lwp = LwpCollector(fs, text_store, proc.pid, snapshots=False)
+        text_hwt = HwtCollector(fs, text_store, cpus, snapshots=False)
+        while kernel.alive_work():
+            kernel.run(max_ticks=10)
+            tick = float(kernel.now)
+            fast_snaps = fast_lwp.collect(tick)
+            fast_hwt.collect(tick)
+            fast_store.commit(tick, fast_snaps)
+            text_snaps = text_lwp.collect(tick)
+            text_hwt.collect(tick)
+            text_store.commit(tick, text_snaps)
+            assert fast_snaps == text_snaps
+        _assert_stores_equal(fast_store, text_store)

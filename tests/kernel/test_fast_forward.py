@@ -1,0 +1,206 @@
+"""Determinism suite for the idle fast-forward path.
+
+The event-driven run loop may jump the clock over fully idle windows
+(every LWP blocked, nothing in flight on devices or disks).  These
+tests pin down the invariant that makes that legal: a fast-forwarded
+run is **bit-identical** to stepping through the same window one jiffy
+at a time — same ``/proc`` text, same per-thread counters, same GPU
+sensor decay, same final tick.
+"""
+
+import pytest
+
+from repro.kernel import Compute, SimKernel, Sleep
+from repro.procfs import ProcFS
+from repro.topology import CpuSet, frontier_node, generic_node
+
+
+def _phased(compute, sleep, reps):
+    """A thread alternating short bursts with long sleeps."""
+    def g():
+        for _ in range(reps):
+            yield Compute(compute, user_frac=0.7)
+            yield Sleep(sleep)
+    return g()
+
+
+def _build(fast_forward):
+    """One Frontier node (GPUs included: their idle sensor decay must
+    survive the jump) running a sleep-heavy three-thread workload."""
+    kernel = SimKernel(frontier_node(), fast_forward=fast_forward)
+    node = kernel.nodes[0]
+    proc = kernel.spawn_process(
+        node, CpuSet.range(1, 4), _phased(3, 57, 6), command="app"
+    )
+    kernel.spawn_thread(proc, _phased(2, 83, 4), name="w1")
+    kernel.spawn_thread(proc, _phased(5, 131, 3), name="w2",
+                        affinity=CpuSet([2]))
+    # a far-out timer: jumps must stop at timer deadlines too
+    kernel.call_at(400, lambda k: None)
+    return kernel, proc
+
+
+def _observable_state(kernel, proc):
+    """Everything the monitor can see: /proc text, counters, sensors."""
+    node = kernel.nodes[0]
+    fs = ProcFS(kernel, node)
+    state = [
+        kernel.now,
+        fs.read("/proc/stat"),
+        fs.read("/proc/uptime"),
+    ]
+    for tid in sorted(proc.threads):
+        state.append(fs.read(f"/proc/{proc.pid}/task/{tid}/stat"))
+        state.append(fs.read(f"/proc/{proc.pid}/task/{tid}/status"))
+    for lwp in proc.threads.values():
+        state.append((lwp.tid, lwp.vcsw, lwp.nvcsw, lwp.migrations,
+                      lwp.utime, lwp.stime))
+    for dev in node.gpus:
+        state.append((dev.total_jiffies, dev.clock_gfx_mhz, dev.power_w,
+                      dev.temperature_c, dev.energy_j))
+    return state
+
+
+class TestBitIdentity:
+    def test_full_run_identical(self):
+        stepped_kernel, stepped_proc = _build(fast_forward=False)
+        ff_kernel, ff_proc = _build(fast_forward=True)
+        stepped_ticks = stepped_kernel.run()
+        ff_ticks = ff_kernel.run()
+        assert stepped_ticks == ff_ticks
+        assert _observable_state(stepped_kernel, stepped_proc) == \
+            _observable_state(ff_kernel, ff_proc)
+
+    def test_intermediate_boundaries_identical(self):
+        """Bit-identity holds at every 50-tick boundary, not just at
+        the end — jumps clamp to the caller's max_ticks budget."""
+        stepped_kernel, stepped_proc = _build(fast_forward=False)
+        ff_kernel, ff_proc = _build(fast_forward=True)
+        for _ in range(40):
+            if not stepped_kernel.alive_work():
+                break
+            stepped_kernel.run(max_ticks=50)
+            ff_kernel.run(max_ticks=50)
+            assert _observable_state(stepped_kernel, stepped_proc) == \
+                _observable_state(ff_kernel, ff_proc)
+        assert not ff_kernel.alive_work()
+
+    def test_fast_forward_actually_jumps(self):
+        stepped_kernel, _ = _build(fast_forward=False)
+        ff_kernel, _ = _build(fast_forward=True)
+        counts = []
+        for kernel in (stepped_kernel, ff_kernel):
+            steps = 0
+            orig = kernel.step
+
+            def counting(orig=orig):
+                nonlocal steps
+                steps += 1
+                orig()
+
+            kernel.step = counting
+            ticks = kernel.run()
+            counts.append((ticks, steps))
+        (stepped_ticks, stepped_steps), (ff_ticks, ff_steps) = counts
+        assert stepped_steps == stepped_ticks  # every jiffy stepped
+        assert ff_ticks == stepped_ticks
+        assert ff_steps < ff_ticks // 2  # most jiffies jumped over
+
+
+class TestJumpGating:
+    def test_on_tick_observers_see_every_tick(self):
+        kernel, _ = _build(fast_forward=True)
+        seen = []
+        kernel.on_tick.append(lambda k: seen.append(k.now))
+        ticks = kernel.run()
+        assert len(seen) == ticks  # observers disable jumping
+
+    def test_until_predicate_checked_every_tick(self):
+        kernel, _ = _build(fast_forward=True)
+        ticks = kernel.run(until=lambda k: k.now >= 123)
+        assert ticks == 123
+
+    def test_max_ticks_clamps_jump(self):
+        kernel = SimKernel(generic_node(cores=2), fast_forward=True)
+
+        def long_sleeper():
+            yield Sleep(1000)
+
+        kernel.spawn_process(kernel.nodes[0], CpuSet([0]), long_sleeper())
+        assert kernel.run(max_ticks=100) == 100
+        assert kernel.now == 100
+        assert kernel.alive_work()  # still asleep, not skipped past
+
+
+class TestWakePlacement:
+    """Preference order of ``_select_wake_cpu``: previous CPU if idle,
+    first idle allowed CPU, previous CPU, least-loaded allowed CPU."""
+
+    @staticmethod
+    def _world(busy_on):
+        kernel = SimKernel(generic_node(cores=4))
+        node = kernel.nodes[0]
+
+        def sleeper():
+            yield Sleep(10_000)
+
+        def busy():
+            yield Compute(10_000)
+
+        proc = kernel.spawn_process(
+            node, node.machine.cpuset(), sleeper(), command="demo"
+        )
+        for cpu in busy_on:
+            kernel.spawn_thread(proc, busy(), affinity=CpuSet([cpu]))
+        kernel.step()  # sleeper blocks (cur_cpu=0); busy threads occupy
+        lwp = proc.main_thread
+        assert lwp.blocked and lwp.cur_cpu == 0
+        return kernel, node, lwp
+
+    def test_previous_cpu_when_idle(self):
+        kernel, _, lwp = self._world(busy_on=[1, 2, 3])
+        assert kernel._select_wake_cpu(lwp) == 0
+
+    def test_first_idle_when_previous_busy(self):
+        kernel, _, lwp = self._world(busy_on=[0, 1, 3])
+        assert kernel._select_wake_cpu(lwp) == 2
+
+    def test_previous_cpu_when_all_busy(self):
+        kernel, _, lwp = self._world(busy_on=[0, 1, 2, 3])
+        assert kernel._select_wake_cpu(lwp) == 0
+
+    def test_least_loaded_when_previous_disallowed(self):
+        kernel, node, lwp = self._world(busy_on=[0, 1, 2, 3])
+        # queue a second thread on CPU 2 so loads differ (2 vs 1)
+        def busy():
+            yield Compute(10_000)
+        kernel.spawn_thread(lwp.process, busy(), affinity=CpuSet([2]))
+        lwp.affinity = CpuSet([2, 3])  # previous CPU 0 no longer allowed
+        assert node.hwt(2).nr_running > node.hwt(3).nr_running
+        assert kernel._select_wake_cpu(lwp) == 3
+
+    def test_wake_lands_on_selected_cpu(self):
+        kernel, node, lwp = self._world(busy_on=[0, 2, 3])
+        kernel.wake(lwp)
+        assert lwp.cur_cpu == 1 or lwp in node.hwt(1).runqueue
+
+
+@pytest.mark.parametrize("smt_efficiency", [1.0, 0.7])
+def test_smt_model_identical_with_fast_forward(smt_efficiency):
+    """The SMT contention model keeps its own (full-scan) scheduling
+    path; fast-forward must still be bit-identical there."""
+    results = []
+    for fast_forward in (False, True):
+        kernel = SimKernel(
+            generic_node(cores=2, smt=2),
+            smt_efficiency=smt_efficiency,
+            fast_forward=fast_forward,
+        )
+        node = kernel.nodes[0]
+        proc = kernel.spawn_process(
+            node, node.machine.cpuset(), _phased(4, 61, 5), command="smt"
+        )
+        kernel.spawn_thread(proc, _phased(6, 47, 5), name="w")
+        kernel.run()
+        results.append(_observable_state(kernel, proc))
+    assert results[0] == results[1]

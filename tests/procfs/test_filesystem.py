@@ -114,6 +114,16 @@ class TestListdir:
         _, proc, _, fs = world
         assert str(proc.pid) in fs.listdir("/proc")
 
+    def test_proc_listing_live_only(self, world):
+        """An exited process drops out of the /proc listing (like the
+        real kernel) but its files stay addressable for late readers."""
+        kernel, proc, _, fs = world
+        kernel.run()  # run to completion; the process exits
+        assert not proc.alive
+        assert str(proc.pid) not in fs.listdir("/proc")
+        assert fs.read(f"/proc/{proc.pid}/stat")  # still readable
+        assert fs.read(f"/proc/{proc.pid}/cmdline") == "demo\x00"
+
     def test_not_a_directory(self, world):
         _, _, _, fs = world
         with pytest.raises(ProcFSError):

@@ -19,7 +19,14 @@ from repro.collect.collectors import (
     read_meminfo,
     read_task,
 )
-from repro.collect.engine import CollectionEngine
+from repro.collect.engine import CollectionEngine, collector_name
+from repro.collect.faults import (
+    DegradationEvent,
+    DegradationLedger,
+    FaultPolicy,
+    FaultyProc,
+    classify_failure,
+)
 from repro.collect.reader import (
     ProcReader,
     RealProc,
@@ -44,7 +51,13 @@ __all__ = [
     "read_cpu_times",
     "read_meminfo",
     "CollectionEngine",
+    "collector_name",
     "SampleStore",
     "ReportBuilder",
     "ReplayZeroSum",
+    "DegradationEvent",
+    "DegradationLedger",
+    "FaultPolicy",
+    "FaultyProc",
+    "classify_failure",
 ]

@@ -14,10 +14,12 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from repro.collect.faults import is_missing
 from repro.collect.reader import ProcReader
 from repro.collect.store import SampleStore
 from repro.core.heartbeat import ThreadSnapshot
 from repro.core.records import state_code
+from repro.errors import ProcessVanishedError, ProcFSError
 from repro.gpu.metrics import METRIC_ORDER
 from repro.procfs.parsers import (
     CpuTimes,
@@ -76,15 +78,26 @@ class LwpCollector:
     ``missing_process`` selects what a vanished ``task`` directory
     means: the simulated monitor treats it as an empty thread list (the
     process just exited between period boundaries), the live monitor
-    lets the error propagate so its loop can stop.  Individual threads
-    that die between ``listdir`` and the reads are always skipped — the
-    dead-thread race of a real ``/proc``.
+    gets a :class:`~repro.errors.ProcessVanishedError` — the one
+    failure the containment boundary does not absorb, because only the
+    driver can decide whether to stop.  A denied or broken ``task``
+    directory is *not* a vanished process: it propagates as an
+    ordinary containable failure.
+
+    Individual threads that die between ``listdir`` and the reads are
+    dropped — the dead-thread race of a real ``/proc`` — and the drop
+    is counted in the store's degradation ledger.  Any other per-thread
+    failure (a parse error on text that *was* readable) is raised so
+    the containment boundary rolls the period back and records it:
+    parser bugs must never be swallowed as if a thread had exited.
 
     When the reader implements the snapshot tier
     (``read_tasks_raw``, see :mod:`repro.collect.reader`) and
     ``snapshots`` is left on, the collector samples through it —
     identical rows, no text rendered or parsed.
     """
+
+    name = "LwpCollector"
 
     def __init__(
         self,
@@ -101,22 +114,35 @@ class LwpCollector:
         self.missing_process = missing_process
         self._raw = getattr(reader, "read_tasks_raw", None) if snapshots else None
 
+    def _vanished(self, exc: ProcFSError) -> Exception:
+        """Map a failed task-dir access to the right escalation."""
+        if self.missing_process != "ignore" and is_missing(exc):
+            return ProcessVanishedError(
+                f"process {self.pid} vanished: {exc}", errno=exc.errno
+            )
+        return exc
+
     def collect(self, tick: float) -> list[ThreadSnapshot]:
         """Sample every live thread of the process."""
         if self._raw is not None:
             return self._collect_raw(tick)
         try:
             tids = [int(t) for t in self.reader.listdir(f"/proc/{self.pid}/task")]
-        except Exception:
+        except ProcFSError as exc:
             if self.missing_process == "ignore":
                 return []
-            raise
+            raise self._vanished(exc) from exc
         snapshots: list[ThreadSnapshot] = []
         for tid in tids:
             try:
                 stat, status = read_task(self.reader, self.pid, tid)
-            except Exception:
-                continue  # transient thread died mid-sample
+            except ProcFSError as exc:
+                if not is_missing(exc):
+                    raise  # denied/broken is a collector failure, not a race
+                self.store.ledger.record_dropped_row(
+                    self.name, tick, f"thread {tid} died mid-sample: {exc}"
+                )
+                continue
             self.store.add_lwp_row(
                 tid,
                 (
@@ -146,10 +172,10 @@ class LwpCollector:
         """Snapshot-tier sampling: same rows, no text round trip."""
         try:
             tasks = self._raw(self.pid)
-        except Exception:
+        except ProcFSError as exc:
             if self.missing_process == "ignore":
                 return []
-            raise
+            raise self._vanished(exc) from exc
         snapshots: list[ThreadSnapshot] = []
         for t in tasks:
             self.store.add_lwp_row(
@@ -184,7 +210,17 @@ class HwtCollector:
     Uses the reader's snapshot tier (``read_cpu_times_raw``) when
     available and ``snapshots`` is left on; falls back to parsing the
     rendered text otherwise.
+
+    An allowed CPU missing from the parsed counters is a short or torn
+    read of ``/proc/stat``, not data: silently skipping it would commit
+    a period where the per-CPU series disagree on which ticks exist.
+    It raises a (transient) :class:`~repro.errors.ProcFSError` so the
+    containment boundary rolls the period back and retries; a CPU that
+    stays missing disables the collector with that reason rather than
+    recording ragged series.
     """
+
+    name = "HwtCollector"
 
     def __init__(
         self,
@@ -208,7 +244,9 @@ class HwtCollector:
         for cpu in self.cpus:
             times = cpu_times.get(cpu)
             if times is None:
-                continue
+                raise ProcFSError(
+                    f"cpu{cpu} missing from /proc/stat (short read?)"
+                )
             self.store.add_hwt_row(
                 cpu, (tick, times.user, times.system, times.idle, times.iowait)
             )
@@ -217,6 +255,8 @@ class HwtCollector:
 
 class MemoryCollector:
     """§3.2: ``/proc/meminfo`` plus the process's own RSS and I/O."""
+
+    name = "MemoryCollector"
 
     def __init__(self, reader: ProcReader, store: SampleStore, pid: int):
         self.reader = reader
@@ -255,6 +295,8 @@ class GpuCollector:
     followed by every metric of ``repro.gpu.metrics.METRIC_ORDER`` —
     regardless of which vendor backend answers.
     """
+
+    name = "GpuCollector"
 
     def __init__(self, store: SampleStore, smi):
         self.store = store

@@ -11,6 +11,19 @@ One sampling period is two calls: :meth:`sample` takes the
 observation, and :meth:`commit` closes the period once the driver has
 consumed any per-interval products (heartbeats, stream events) that
 difference the new sample against the previous one.
+
+:meth:`sample` is **transactional per collector**: each collector runs
+inside a containment boundary bracketed by the store's rollback
+watermark, so a failing collector's partial rows are rewound and a
+period is whole-per-subsystem or absent, never torn.  Transient
+failures (vanished paths, I/O hiccups) are retried within the period
+under the :class:`~repro.collect.faults.FaultPolicy`; a collector that
+fails ``disable_after`` consecutive periods is disabled with a reason.
+Every decision lands in the store's
+:class:`~repro.collect.faults.DegradationLedger`.  The only exception
+that escapes :meth:`sample` is
+:class:`~repro.errors.ProcessVanishedError` — the monitored process
+itself is gone, which only the driver can decide what to do about.
 """
 
 from __future__ import annotations
@@ -18,28 +31,93 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.collect.collectors import Collector
+from repro.collect.faults import TRANSIENT, FaultPolicy, classify_failure
 from repro.collect.store import SampleStore
 from repro.core.heartbeat import ThreadSnapshot
 from repro.core.stream import SampleEvent, condense_event
+from repro.errors import ProcessVanishedError
 
-__all__ = ["CollectionEngine"]
+__all__ = ["CollectionEngine", "collector_name"]
+
+
+def collector_name(collector: Collector) -> str:
+    """The ledger key of a collector (its ``name`` or class name)."""
+    return getattr(collector, "name", type(collector).__name__)
 
 
 class CollectionEngine:
     """Run every collector over one substrate into one store."""
 
-    def __init__(self, store: SampleStore, collectors: Iterable[Collector]):
+    def __init__(
+        self,
+        store: SampleStore,
+        collectors: Iterable[Collector],
+        *,
+        policy: Optional[FaultPolicy] = None,
+    ):
         self.store = store
         self.collectors: list[Collector] = list(collectors)
+        self.policy = policy or FaultPolicy()
 
     def sample(self, tick: float) -> list[ThreadSnapshot]:
-        """One periodic observation across all collectors."""
+        """One periodic observation across all collectors.
+
+        Never raises for containable collector failures; see the
+        module docstring for the containment contract.
+        """
         snapshots: list[ThreadSnapshot] = []
+        ledger = self.store.ledger
         for collector in self.collectors:
-            snapshots.extend(collector.collect(tick))
+            name = collector_name(collector)
+            if ledger.is_disabled(name):
+                continue
+            snapshots.extend(self._sample_contained(collector, name, tick))
         self.store.samples_taken += 1
         self.store.last_thread_count = len(snapshots)
         return snapshots
+
+    def _sample_contained(
+        self, collector: Collector, name: str, tick: float
+    ) -> list[ThreadSnapshot]:
+        """One collector, one period, inside the containment boundary."""
+        policy, store, ledger = self.policy, self.store, self.store.ledger
+        for attempt in range(policy.max_retries + 1):
+            store.begin()
+            try:
+                result = collector.collect(tick)
+            except ProcessVanishedError:
+                # the monitored process itself is gone: nothing to
+                # contain, but never leave a torn period behind
+                store.rollback()
+                raise
+            except Exception as exc:
+                discarded = store.rollback()
+                failure_class = classify_failure(exc)
+                reason = f"{type(exc).__name__}: {exc}"
+                if failure_class == TRANSIENT and attempt < policy.max_retries:
+                    ledger.record_retry(name, tick, reason, failure_class)
+                    policy.pause(attempt)
+                    continue
+                consecutive = ledger.record_failure(
+                    name,
+                    tick,
+                    reason,
+                    failure_class,
+                    rows_discarded=discarded,
+                )
+                if policy.disable_after and consecutive >= policy.disable_after:
+                    ledger.record_disable(
+                        name,
+                        tick,
+                        f"{consecutive} consecutive failed periods; "
+                        f"last: {reason}",
+                    )
+                return []
+            else:
+                store.release()
+                ledger.record_success(name)
+                return result
+        return []  # unreachable: the last attempt records and returns
 
     def make_event(
         self,

@@ -30,6 +30,8 @@ are contractually bit-identical — enforced by
 
 from __future__ import annotations
 
+import errno
+import os
 from pathlib import Path, PurePosixPath
 from typing import Protocol, runtime_checkable
 
@@ -88,16 +90,33 @@ class RealProc:
             raise ProcFSError(f"not a /proc path: {path}")
         return self.root.joinpath(*parts[2:])
 
+    @staticmethod
+    def _wrap(exc: OSError, missing_message: str, path: str) -> ProcFSError:
+        """One ProcFSError per OSError, errno preserved.
+
+        ``EACCES`` and ``EIO`` must not masquerade as a missing path —
+        the transient/permanent classifier (and users) need to tell a
+        vanished thread from a permission or I/O problem.
+        """
+        if exc.errno in (errno.ENOENT, errno.ESRCH, errno.ENOTDIR):
+            message = f"{missing_message}: {path}"
+        else:
+            detail = (
+                os.strerror(exc.errno) if exc.errno is not None else str(exc)
+            )
+            message = f"{detail}: {path}"
+        return ProcFSError(message, errno=exc.errno)
+
     def read(self, path: str) -> str:
-        """Read one file; missing paths raise ProcFSError."""
+        """Read one file; OS errors raise ProcFSError, errno preserved."""
         try:
             return self._resolve(path).read_text()
         except OSError as exc:
-            raise ProcFSError(f"no such file: {path}") from exc
+            raise self._wrap(exc, "no such file", path) from exc
 
     def listdir(self, path: str) -> list[str]:
-        """List one directory; missing paths raise ProcFSError."""
+        """List one directory; OS errors raise ProcFSError with errno."""
         try:
             return sorted(p.name for p in self._resolve(path).iterdir())
         except OSError as exc:
-            raise ProcFSError(f"no such directory: {path}") from exc
+            raise self._wrap(exc, "no such directory", path) from exc

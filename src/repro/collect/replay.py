@@ -69,6 +69,7 @@ class ReplayZeroSum:
 
         self.store = SampleStore()
         self._kinds: dict[int, str] = {}
+        self._degradation_notes: list[str] = []
         self._ingest_samples(parsed)
         self._ingest_identity(parsed.report_text)
 
@@ -102,7 +103,19 @@ class ReplayZeroSum:
             )
 
     def _ingest_identity(self, report_text: str) -> None:
+        in_degradation = False
         for line in report_text.splitlines():
+            # degradation events are identity metadata too: the rebuilt
+            # report must still say why a column of the original is gone
+            if line == "Degradation Summary:":
+                in_degradation = True
+                continue
+            if in_degradation:
+                if not line.strip():
+                    in_degradation = False
+                else:
+                    self._degradation_notes.append(line)
+                continue
             m = _LWP_LINE_RE.match(line)
             if not m:
                 continue
@@ -155,10 +168,13 @@ class ReplayZeroSum:
             duration_ticks=self.duration_seconds * self.hz,
             classify=self.classify,
         )
-        return builder.build(
+        report = builder.build(
             duration_seconds=self.duration_seconds,
             rank=self.rank,
             pid=self.pid,
             hostname=self.hostname,
             cpus_allowed=self.cpus_allowed,
         )
+        # the replay store never degrades; carry the original run's notes
+        report.degradation_notes = list(self._degradation_notes)
+        return report

@@ -150,4 +150,6 @@ class ReportBuilder:
                 report.hwt_rows.append(hrow)
         for visible in sorted(self.store.gpu_series):
             report.gpu_stats[visible] = self._gpu_stats(visible)
+        # degradation as data: why a column above is missing or short
+        report.degradation_notes = self.store.ledger.summary_lines()
         return report

@@ -14,12 +14,21 @@ two retention policies:
 
 It also tracks the per-tid cumulative totals of the previous sample,
 which the streaming seam differences into per-interval busy rates.
+
+The store is **transactional per collector**: the engine brackets each
+collector's run in :meth:`SampleStore.begin` / :meth:`SampleStore.release`,
+and :meth:`SampleStore.rollback` rewinds every row, series, name, and
+affinity the failing collector touched — a sampling period is whole
+per subsystem or absent, never torn.  The store also carries the
+:class:`~repro.collect.faults.DegradationLedger` recording every such
+containment decision.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.collect.faults import DegradationLedger
 from repro.core.records import (
     GPU_COLUMNS,
     HWT_COLUMNS,
@@ -27,12 +36,15 @@ from repro.core.records import (
     MEM_COLUMNS,
     SeriesBuffer,
 )
+from repro.errors import MonitorError
 from repro.topology.cpuset import CpuSet
 
 if TYPE_CHECKING:
     from repro.core.heartbeat import ThreadSnapshot
 
 __all__ = ["SampleStore"]
+
+_MISSING = object()
 
 
 class SampleStore:
@@ -57,6 +69,10 @@ class SampleStore:
         self.mem_series = self.new_series(MEM_COLUMNS)
         self.samples_taken = 0
         self.last_thread_count = 0
+        #: the degradation record of this run (see repro.collect.faults)
+        self.ledger = DegradationLedger()
+        #: undo journal of the open watermark, None outside a transaction
+        self._txn: list[tuple] | None = None
         #: tick of the previous committed sample (starts at the
         #: monitor's attach tick so the first interval is well defined)
         self.prev_tick: float = start_tick
@@ -71,18 +87,72 @@ class SampleStore:
         return SeriesBuffer(columns, capacity=self.summary_rows)
 
     def _push(self, series: SeriesBuffer, row: Sequence[float]) -> None:
-        if self.keep_series or len(series) < self.summary_rows:
-            series.append(row)
-        else:
+        replace = not (self.keep_series or len(series) < self.summary_rows)
+        if self._txn is not None:
+            self._txn.append(("row", series, series.prepare_undo(replace)))
+        if replace:
             series.replace_last(row)
+        else:
+            series.append(row)
+
+    # -- rollback watermark (per-collector transactions) ----------------
+    def begin(self) -> None:
+        """Open a rollback watermark: journal every mutation after it."""
+        if self._txn is not None:
+            raise MonitorError("sample transaction already open")
+        self._txn = []
+
+    def rollback(self) -> int:
+        """Undo everything since :meth:`begin`; returns rows discarded.
+
+        Restores series contents (including ring overwrites and
+        summary-mode replaces), removes series created inside the
+        watermark, and reverts name/affinity identity records — the
+        store is bit-identical to its state at :meth:`begin`.
+        """
+        if self._txn is None:
+            raise MonitorError("no sample transaction open")
+        journal, self._txn = self._txn, None
+        rows = 0
+        for entry in reversed(journal):
+            kind = entry[0]
+            if kind == "row":
+                _, series, token = entry
+                series.undo(token)
+                rows += 1
+            elif kind == "series":
+                _, mapping, key = entry
+                mapping.pop(key, None)
+            else:  # "ident": a name/affinity map entry
+                _, mapping, key, old = entry
+                if old is _MISSING:
+                    mapping.pop(key, None)
+                else:
+                    mapping[key] = old
+        return rows
+
+    def release(self) -> None:
+        """Close the watermark, keeping everything written since it."""
+        if self._txn is None:
+            raise MonitorError("no sample transaction open")
+        self._txn = None
 
     # -- per-subsystem appends -----------------------------------------
     def lwp(self, tid: int) -> SeriesBuffer:
         """The (created-on-demand) series of one thread."""
         series = self.lwp_series.get(tid)
         if series is None:
+            if self._txn is not None:
+                self._txn.append(("series", self.lwp_series, tid))
             series = self.lwp_series[tid] = self.new_series(LWP_COLUMNS)
         return series
+
+    def _set_identity(self, mapping: dict, key: int, value) -> None:
+        if self._txn is not None:
+            self._txn.append(
+                ("ident", mapping, key, mapping.get(key, _MISSING))
+            )
+        mapping[key] = value
 
     def add_lwp_row(
         self,
@@ -95,15 +165,17 @@ class SampleStore:
         """Record one thread observation plus its identity facts."""
         self._push(self.lwp(tid), row)
         if name is not None:
-            self.lwp_names[tid] = name
+            self._set_identity(self.lwp_names, tid, name)
         if affinity is not None:
             # affinity may change after creation: re-record every period
-            self.lwp_affinity[tid] = affinity
+            self._set_identity(self.lwp_affinity, tid, affinity)
 
     def hwt(self, cpu: int) -> SeriesBuffer:
         """The (created-on-demand) series of one hardware thread."""
         series = self.hwt_series.get(cpu)
         if series is None:
+            if self._txn is not None:
+                self._txn.append(("series", self.hwt_series, cpu))
             series = self.hwt_series[cpu] = self.new_series(HWT_COLUMNS)
         return series
 
@@ -115,6 +187,8 @@ class SampleStore:
         """The (created-on-demand) series of one visible GPU."""
         series = self.gpu_series.get(index)
         if series is None:
+            if self._txn is not None:
+                self._txn.append(("series", self.gpu_series, index))
             series = self.gpu_series[index] = self.new_series(GPU_COLUMNS)
         return series
 

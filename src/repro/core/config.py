@@ -57,6 +57,15 @@ class ZeroSumConfig:
     #: overwritten); None keeps everything.  For long-running live
     #: sessions that still want a trailing window of raw samples.
     max_series_rows: int | None = None
+    #: in-period retries after a transient collector failure (vanished
+    #: path, I/O hiccup); permanent failures are never retried
+    fault_retries: int = 2
+    #: disable a collector after N consecutive failed periods and
+    #: record why (0 keeps retrying forever)
+    fault_disable_after: int = 3
+    #: base backoff between live-monitor retries, doubled per attempt
+    #: (the simulated monitor never sleeps regardless)
+    fault_backoff_seconds: float = 0.0
     #: extra environment-style options
     extra: dict[str, str] = field(default_factory=dict)
 
@@ -80,6 +89,12 @@ class ZeroSumConfig:
             raise MonitorError("deadlock_after must be >= 0")
         if self.max_series_rows is not None and self.max_series_rows < 1:
             raise MonitorError("max_series_rows must be >= 1 (or None)")
+        if self.fault_retries < 0:
+            raise MonitorError("fault_retries must be >= 0")
+        if self.fault_disable_after < 0:
+            raise MonitorError("fault_disable_after must be >= 0")
+        if self.fault_backoff_seconds < 0:
+            raise MonitorError("fault_backoff_seconds must be >= 0")
         if self.deadlock_action not in ("report", "terminate"):
             raise MonitorError("deadlock_action must be 'report' or 'terminate'")
         if self.openmp_detection not in ("ompt", "probe"):

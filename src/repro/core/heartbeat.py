@@ -13,9 +13,32 @@ is flagged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-__all__ = ["ThreadSnapshot", "ProgressTracker"]
+if TYPE_CHECKING:
+    from repro.collect.faults import DegradationLedger
+
+__all__ = ["ThreadSnapshot", "ProgressTracker", "heartbeat_line"]
+
+
+def heartbeat_line(
+    *,
+    seconds: float,
+    pid: int,
+    threads: int,
+    ledger: Optional["DegradationLedger"] = None,
+) -> str:
+    """One heartbeat: liveness, thread count, and any degradation.
+
+    A degraded pipeline heartbeats *louder*, not silent — the line
+    names what is disabled or dropping rows so an operator watching
+    stdout learns why a column will be missing before the final
+    report.
+    """
+    line = f"[zerosum] t={seconds:.1f}s pid={pid} viable, {threads} threads"
+    if ledger is not None and ledger.degraded:
+        line += f" [degraded: {ledger.degraded_summary()}]"
+    return line
 
 
 @dataclass(frozen=True)

@@ -36,9 +36,10 @@ from repro.collect import (
     MemoryCollector,
     SampleStore,
 )
+from repro.collect.faults import FaultPolicy
 from repro.core.config import ZeroSumConfig
 from repro.core.detect import ProcessConfig, detect_configuration
-from repro.core.heartbeat import ProgressTracker
+from repro.core.heartbeat import ProgressTracker, heartbeat_line
 from repro.errors import MonitorError
 from repro.gpu.backend import SmiBackend, make_smi
 from repro.kernel.directives import Call, Compute, Sleep
@@ -122,7 +123,16 @@ class ZeroSum:
             )
         if self.smi is not None:
             collectors.append(GpuCollector(self.store, self.smi))
-        self.engine = CollectionEngine(self.store, collectors)
+        # containment policy: no backoff actuator — retries are
+        # immediate re-reads, keeping simulated sampling deterministic
+        self.engine = CollectionEngine(
+            self.store,
+            collectors,
+            policy=FaultPolicy(
+                max_retries=self.config.fault_retries,
+                disable_after=self.config.fault_disable_after,
+            ),
+        )
 
         #: optional live export bus (the LDMS/TAU seam, §6)
         self.stream = stream
@@ -224,8 +234,12 @@ class ZeroSum:
             and self.store.samples_taken % self.config.heartbeat_every == 0
         ):
             self.heartbeats.append(
-                f"[zerosum] t={tick / self.kernel.clock.hz:.1f}s "
-                f"pid={self.process.pid} viable, {len(snapshots)} threads"
+                heartbeat_line(
+                    seconds=tick / self.kernel.clock.hz,
+                    pid=self.process.pid,
+                    threads=len(snapshots),
+                    ledger=self.store.ledger,
+                )
             )
         # a process whose main thread returned is finished, not
         # deadlocked (daemon helper threads may outlive it)

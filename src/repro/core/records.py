@@ -119,6 +119,39 @@ class SeriesBuffer:
         self._data[self._len] = row
         self._len += 1
 
+    # -- rollback support ----------------------------------------------
+    def prepare_undo(self, will_replace: bool) -> tuple:
+        """O(1) token undoing the *next* append or ``replace_last``.
+
+        Captures the cursor state plus a copy of whichever stored row
+        the coming mutation will overwrite (the oldest row for a
+        saturated ring append, the newest for a replace), so
+        :meth:`undo` can restore the buffer bit-for-bit.  Tokens must
+        be applied in reverse order of capture.
+        """
+        saved: tuple[int, np.ndarray] | None = None
+        if will_replace and self._len > 0:
+            if self.max_rows is not None and self._len == self.max_rows:
+                idx = (self._head - 1) % self.max_rows
+            else:
+                idx = self._len - 1
+            saved = (idx, self._data[idx].copy())
+        elif (
+            not will_replace
+            and self.max_rows is not None
+            and self._len == self.max_rows
+        ):
+            saved = (self._head, self._data[self._head].copy())
+        return (self._len, self._head, self.appended, saved)
+
+    def undo(self, token: tuple) -> None:
+        """Rewind one mutation recorded by :meth:`prepare_undo`."""
+        length, head, appended, saved = token
+        self._len, self._head, self.appended = length, head, appended
+        if saved is not None:
+            idx, row = saved
+            self._data[idx] = row
+
     def replace_last(self, row: Sequence[float]) -> None:
         """Overwrite the most recently appended row (append when empty).
 

@@ -95,6 +95,9 @@ class UtilizationReport:
     hwt_rows: list[HwtRow] = field(default_factory=list)
     gpu_stats: dict[int, list[GpuStat]] = field(default_factory=dict)
     deadlock_note: str = ""
+    #: degradation ledger lines — why a column is missing ("GpuCollector
+    #: disabled at tick 412: permission denied"); empty for a clean run
+    degradation_notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         """The complete Listing 2 text report."""
@@ -116,6 +119,9 @@ class UtilizationReport:
             lines += ["", f"GPU {visible} - (metric:  min  avg  max)"]
             for stat in self.gpu_stats[visible]:
                 lines.append(stat.render())
+        if self.degradation_notes:
+            lines += ["", "Degradation Summary:"]
+            lines.extend(self.degradation_notes)
         if self.deadlock_note:
             lines += ["", f"*** {self.deadlock_note} ***"]
         return "\n".join(lines) + "\n"

@@ -49,6 +49,10 @@ class SampleEvent:
     mem_available_kib: float
     gpu_busy_pct: float  # -1 when no GPU visible
     deadlock_suspected: bool
+    #: degradation-ledger state at sample time: rows lost so far and
+    #: which collectors have been disabled (with reasons in the ledger)
+    dropped_rows: int = 0
+    disabled_collectors: tuple[str, ...] = ()
 
 
 def condense_event(
@@ -92,6 +96,7 @@ def condense_event(
     if len(store.mem_series):
         rss = store.mem_series.last("rss_kib")
         mem_avail = store.mem_series.last("mem_available_kib")
+    ledger = store.ledger
     return SampleEvent(
         tick=tick,
         seconds=tick / hz,
@@ -105,6 +110,8 @@ def condense_event(
         mem_available_kib=mem_avail,
         gpu_busy_pct=gpu_busy,
         deadlock_suspected=deadlock_suspected,
+        dropped_rows=sum(ledger.dropped_rows.values()),
+        disabled_collectors=tuple(sorted(ledger.disabled)),
     )
 
 

@@ -16,7 +16,41 @@ class CpuSetError(ReproError):
 
 
 class ProcFSError(ReproError):
-    """Unknown path or unparsable content in the (simulated) /proc."""
+    """Unknown path or unparsable content in the (simulated) /proc.
+
+    ``errno`` preserves the originating OS error (``EACCES``, ``EIO``,
+    ``ENOENT``, ...) when one exists, so callers can distinguish a
+    vanished path from a permission or I/O problem.  Simulated readers
+    that model only existence leave it ``None``, which is classified
+    like a missing path.
+    """
+
+    def __init__(self, message: str = "", *, errno: int | None = None):
+        super().__init__(message)
+        self.errno = errno
+
+
+class ProcParseError(ProcFSError):
+    """Readable ``/proc`` content that does not parse.
+
+    Distinct from a missing path: the file was there and the read
+    succeeded, but the text is malformed (truncated, corrupt, or a
+    format this code does not understand).  Fault classification
+    treats it as *permanent* — retrying the same bytes cannot help,
+    and a parser bug must surface in the degradation ledger, never be
+    mistaken for a thread that exited mid-sample.
+    """
+
+
+class ProcessVanishedError(ProcFSError):
+    """The monitored process's own ``/proc/<pid>`` entry disappeared.
+
+    Raised by :class:`~repro.collect.collectors.LwpCollector` (in
+    ``missing_process="raise"`` mode) instead of a generic
+    :class:`ProcFSError` so drivers can tell "the process we are
+    monitoring is gone, stop sampling" apart from any other containable
+    collector failure.
+    """
 
 
 class SchedulerError(ReproError):

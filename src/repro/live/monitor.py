@@ -26,14 +26,16 @@ from repro.collect import (
     HwtCollector,
     LwpCollector,
     MemoryCollector,
+    ProcReader,
     RealProc,
     SampleStore,
     read_task,
 )
+from repro.collect.faults import FaultPolicy, is_missing
 from repro.collect.report import ReportBuilder
 from repro.core.config import ZeroSumConfig
 from repro.core.reports import UtilizationReport
-from repro.errors import MonitorError, ProcFSError
+from repro.errors import MonitorError, ProcessVanishedError, ProcFSError
 from repro.units import USER_HZ
 
 __all__ = ["LiveZeroSum"]
@@ -46,17 +48,21 @@ class LiveZeroSum:
         self,
         config: Optional[ZeroSumConfig] = None,
         proc_root: str = "/proc",
+        reader: Optional[ProcReader] = None,
     ):
         self.config = config or ZeroSumConfig()
         self.proc_root = proc_root
         self.pid = os.getpid()
         self.hostname = socket.gethostname()
-        self.reader = RealProc(proc_root)
+        #: the /proc substrate; injectable for fault testing (see
+        #: repro.collect.faults.FaultyProc)
+        self.reader = reader if reader is not None else RealProc(proc_root)
         self.start_time = time.monotonic()
         self.end_time: Optional[float] = None
         self._monitor_tid: Optional[int] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
         self.cpus_allowed = read_task(self.reader, self.pid, self.pid)[1].cpus_allowed
 
@@ -76,39 +82,117 @@ class LiveZeroSum:
             collectors.append(
                 MemoryCollector(self.reader, self.store, self.pid)
             )
-        self.engine = CollectionEngine(self.store, collectors)
+        self.engine = CollectionEngine(
+            self.store,
+            collectors,
+            policy=FaultPolicy(
+                max_retries=self.config.fault_retries,
+                disable_after=self.config.fault_disable_after,
+                backoff_seconds=self.config.fault_backoff_seconds,
+                sleep=time.sleep,
+            ),
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start the asynchronous sampling thread."""
-        if self._thread is not None:
+        if self._thread is not None and self._thread.is_alive():
             raise MonitorError("live monitor already started")
+        self._stop.clear()
+        self._stopped = False
         self._thread = threading.Thread(
             target=self._loop, name="zerosum", daemon=True
         )
         self._thread.start()
 
-    def stop(self) -> None:
-        """Stop sampling and take the final sample."""
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop sampling and take the final sample.
+
+        Idempotent, and safe when :meth:`start` was never called.  If
+        the sampling thread does not exit within ``timeout`` the
+        handle is *kept* (never orphan a running thread — it would
+        race the final sample), the timeout is recorded in the
+        degradation ledger, and a :class:`MonitorError` surfaces it;
+        a later call retries the join.
+        """
+        if self._stopped:
+            return
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                reason = (
+                    f"sampling thread did not stop within {timeout:g}s; "
+                    f"final sample skipped"
+                )
+                self.store.ledger.record_error(
+                    "LiveZeroSum", self._now_tick(), reason
+                )
+                raise MonitorError(reason)
             self._thread = None
-        self.sample_once()
+        self._stopped = True
+        try:
+            self.sample_once()
+        except ProcFSError as exc:
+            # a final sample on a dying host must not mask the stop
+            self.store.ledger.record_error(
+                "LiveZeroSum", self._now_tick(), f"final sample failed: {exc}"
+            )
         self.end_time = time.monotonic()
 
     def _loop(self) -> None:
+        """Sample every period; degradation is data, not death.
+
+        The engine contains collector failures, so the only legitimate
+        reason to stop early is the monitored process's own
+        ``/proc/<pid>`` disappearing — and even that is confirmed by
+        re-probing, since one vanished read can be a transient glitch
+        of the substrate.  Anything else is recorded in the ledger and
+        the loop keeps going.
+        """
         self._monitor_tid = threading.get_native_id()
         while not self._stop.wait(self.config.period_seconds):
+            tick = self._now_tick()
             try:
                 self.sample_once()
-            except ProcFSError:
-                break
+            except ProcessVanishedError as exc:
+                if self._process_vanished():
+                    self.store.ledger.record_disable(
+                        "LiveZeroSum",
+                        tick,
+                        f"owning process {self.pid} vanished: {exc}",
+                    )
+                    break
+                self.store.ledger.record_error(
+                    "LiveZeroSum",
+                    tick,
+                    f"spurious process-vanished report: {exc}",
+                )
+            except Exception as exc:  # never die silently
+                self.store.ledger.record_error(
+                    "LiveZeroSum", tick, f"{type(exc).__name__}: {exc}"
+                )
+
+    def _process_vanished(self, probes: int = 3) -> bool:
+        """Confirm ``/proc/<pid>`` is really gone, not a glitch."""
+        for _ in range(probes):
+            try:
+                self.reader.listdir(f"/proc/{self.pid}/task")
+            except ProcFSError as exc:
+                if is_missing(exc):
+                    continue
+                return False  # denied/broken, but present
+            return False  # readable: still alive
+        return True
 
     # ------------------------------------------------------------------
+    def _now_tick(self) -> float:
+        return (time.monotonic() - self.start_time) * USER_HZ
+
     def sample_once(self) -> None:
         """Take one sample (thread-safe via the GIL for our appends)."""
-        tick = (time.monotonic() - self.start_time) * USER_HZ
+        tick = self._now_tick()
         snapshots = self.engine.sample(tick)
         self.engine.commit(tick, snapshots)
 

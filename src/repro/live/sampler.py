@@ -9,8 +9,6 @@ functional API used by scripts and the test suite.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 from repro.collect import RealProc
 from repro.collect import collectors as _collectors
 from repro.errors import ProcFSError
@@ -55,5 +53,11 @@ def read_meminfo(proc_root: str = "/proc") -> dict[str, int]:
 
 
 def read_uptime_seconds(proc_root: str = "/proc") -> float:
-    """Host uptime in seconds."""
-    return float((Path(proc_root) / "uptime").read_text().split()[0])
+    """Host uptime in seconds.
+
+    Goes through the :class:`RealProc` seam like every other reader in
+    this module, so a missing or unreadable file raises
+    :class:`ProcFSError` (errno preserved) rather than a bare
+    ``OSError``, and a non-default ``proc_root`` is honoured.
+    """
+    return float(RealProc(proc_root).read("/proc/uptime").split()[0])

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ProcFSError
+from repro.errors import ProcParseError
 from repro.topology.cpuset import CpuSet
 
 __all__ = [
@@ -123,7 +123,7 @@ def parse_pid_io(text: str) -> TaskIo:
             write_bytes=fields["write_bytes"],
         )
     except KeyError as exc:
-        raise ProcFSError(f"io file missing field {exc}") from exc
+        raise ProcParseError(f"io file missing field {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -156,13 +156,13 @@ def parse_pid_stat(text: str) -> TaskStat:
         lparen = text.index("(")
         rparen = text.rindex(")")
     except ValueError as exc:
-        raise ProcFSError(f"malformed stat line: {text[:80]!r}") from exc
+        raise ProcParseError(f"malformed stat line: {text[:80]!r}") from exc
     pid_part = text[:lparen].strip()
     comm = text[lparen + 1 : rparen]
     rest = text[rparen + 1 :].split()
     # rest[0] is field 3 (state); field N lives at rest[N - 3]
     if len(rest) < 37:
-        raise ProcFSError(f"stat line has only {len(rest) + 2} fields")
+        raise ProcParseError(f"stat line has only {len(rest) + 2} fields")
     try:
         return TaskStat(
             pid=int(pid_part),
@@ -179,19 +179,19 @@ def parse_pid_stat(text: str) -> TaskStat:
             processor=int(rest[36]),
         )
     except (ValueError, IndexError) as exc:
-        raise ProcFSError(f"unparsable stat line: {text[:80]!r}") from exc
+        raise ProcParseError(f"unparsable stat line: {text[:80]!r}") from exc
 
 
 def _status_int(fields: dict[str, str], key: str, default: int | None = None) -> int:
     if key not in fields:
         if default is not None:
             return default
-        raise ProcFSError(f"status missing field {key!r}")
+        raise ProcParseError(f"status missing field {key!r}")
     value = fields[key].split()[0]
     try:
         return int(value)
     except ValueError as exc:
-        raise ProcFSError(f"bad integer for {key!r}: {value!r}") from exc
+        raise ProcParseError(f"bad integer for {key!r}: {value!r}") from exc
 
 
 def parse_pid_status(text: str) -> TaskStatus:
@@ -202,7 +202,7 @@ def parse_pid_status(text: str) -> TaskStatus:
             key, _, value = line.partition(":")
             fields[key.strip()] = value.strip()
     if "State" not in fields:
-        raise ProcFSError("status missing State")
+        raise ProcParseError("status missing State")
     state_letter = fields["State"].split()[0]
     cpus = fields.get("Cpus_allowed_list")
     if cpus is not None:
@@ -243,7 +243,7 @@ def parse_proc_stat(text: str) -> dict[int, CpuTimes]:
             vals.append(0)
         result[cpu] = CpuTimes(cpu, *vals)
     if not result:
-        raise ProcFSError("no cpu lines found in /proc/stat content")
+        raise ProcParseError("no cpu lines found in /proc/stat content")
     return result
 
 
@@ -262,7 +262,7 @@ def parse_meminfo(text: str) -> dict[str, int]:
         except ValueError:
             continue
     if "MemTotal" not in result:
-        raise ProcFSError("meminfo missing MemTotal")
+        raise ProcParseError("meminfo missing MemTotal")
     return result
 
 
@@ -270,5 +270,5 @@ def parse_uptime(text: str) -> tuple[float, float]:
     """Parse /proc/uptime into (uptime, idle) seconds."""
     parts = text.split()
     if len(parts) < 2:
-        raise ProcFSError(f"malformed uptime: {text!r}")
+        raise ProcParseError(f"malformed uptime: {text!r}")
     return float(parts[0]), float(parts[1])

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail CI when a collector module silently swallows an exception.
+
+The fault-containment contract says every absorbed failure must leave
+a trace in the degradation ledger.  An ``except`` block whose body is
+just ``pass`` or ``continue`` — with no ``ledger`` call — is exactly
+the bug that let parser errors masquerade as exited threads, so this
+scan keeps them out of the sampling path for good.
+
+Grep-grade on purpose: no imports of the package under test, no AST
+surprises on syntax errors, runnable on any Python.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: modules that make up the sampling path
+SCAN_DIRS = ("src/repro/collect", "src/repro/live")
+
+_EXCEPT_RE = re.compile(r"^(\s*)except\b.*:\s*(#.*)?$")
+_SWALLOW_RE = re.compile(r"^\s*(pass|continue)\s*(#.*)?$")
+
+
+def find_swallows(path: Path) -> list[tuple[int, str]]:
+    """(line, text) of every silent-swallow except block in one file."""
+    lines = path.read_text().splitlines()
+    bad: list[tuple[int, str]] = []
+    for i, line in enumerate(lines):
+        m = _EXCEPT_RE.match(line)
+        if not m:
+            continue
+        indent = len(m.group(1))
+        body: list[str] = []
+        for nxt in lines[i + 1 :]:
+            if not nxt.strip():
+                continue
+            if len(nxt) - len(nxt.lstrip()) <= indent:
+                break  # dedent: except block over
+            body.append(nxt)
+        swallows = body and all(_SWALLOW_RE.match(b) for b in body)
+        mentions_ledger = any("ledger" in b for b in body)
+        if swallows and not mentions_ledger:
+            bad.append((i + 1, line.strip()))
+    return bad
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    for rel in SCAN_DIRS:
+        for path in sorted((root / rel).rglob("*.py")):
+            for lineno, text in find_swallows(path):
+                print(
+                    f"{path.relative_to(root)}:{lineno}: silent exception "
+                    f"swallow ({text!r}) — record it in the degradation "
+                    f"ledger or let the containment boundary see it"
+                )
+                failures += 1
+    if failures:
+        print(f"\n{failures} silent swallow(s) in the sampling path.")
+        return 1
+    print("collector modules: no silent exception swallows.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,11 @@ Subcommands:
   and print rank 0's utilization report (Listing 2 / Tables 1-3);
 * ``heatmap --ranks N`` — run the PIC proxy and print the Figure 5
   heatmap;
-* ``live --seconds S`` — monitor this very process via the real /proc.
+* ``live --seconds S`` — monitor this very process via the real /proc
+  (``--journal PATH`` makes the run crash-durable);
+* ``recover <journal>`` — post-mortem: rebuild the utilization +
+  degradation report (and optional log/archive exports) from the
+  spill journal of a run that was killed mid-flight.
 """
 
 from __future__ import annotations
@@ -98,7 +102,15 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 def _cmd_live(args: argparse.Namespace) -> int:
     from repro.live import LiveZeroSum
 
-    monitor = LiveZeroSum(ZeroSumConfig(period_seconds=args.period))
+    monitor = LiveZeroSum(
+        ZeroSumConfig(
+            period_seconds=args.period,
+            journal_path=args.journal,
+            journal_checkpoint_every=args.checkpoint_every,
+            heartbeat_path=args.heartbeat,
+            heartbeat_every=1 if args.heartbeat else 0,
+        )
+    )
     monitor.start()
     deadline = time.time() + args.seconds
     x = 0
@@ -106,6 +118,34 @@ def _cmd_live(args: argparse.Namespace) -> int:
         x += sum(i * i for i in range(2000))
     monitor.stop()
     print(monitor.report().render())
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.collect.journal import recover_journal
+    from repro.core.archive import write_store_archive
+    from repro.core.export import FileSink
+    from repro.errors import JournalError
+    from repro.live.export import write_live_log
+
+    try:
+        recovered = recover_journal(args.journal)
+    except (OSError, JournalError) as exc:
+        print(f"cannot recover {args.journal}: {exc}", file=sys.stderr)
+        return 2
+    print(recovered.report().render())
+    if recovered.torn_records:
+        print(
+            f"(discarded {recovered.torn_records} torn trailing journal "
+            f"record(s) — the run died mid-write)",
+            file=sys.stderr,
+        )
+    if args.log_dir:
+        name = write_live_log(recovered, FileSink(args.log_dir))
+        print(f"log written: {args.log_dir}/{name}", file=sys.stderr)
+    if args.archive:
+        write_store_archive(recovered, args.archive)
+        print(f"archive written: {args.archive}", file=sys.stderr)
     return 0
 
 
@@ -138,7 +178,23 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("live", help="monitor this process via real /proc")
     p.add_argument("--seconds", type=float, default=2.0)
     p.add_argument("--period", type=float, default=0.25)
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="spill a crash-durable journal to PATH")
+    p.add_argument("--checkpoint-every", type=int, default=10,
+                   help="journal checkpoint period, in samples")
+    p.add_argument("--heartbeat", default=None, metavar="PATH",
+                   help="append heartbeat lines to PATH")
     p.set_defaults(fn=_cmd_live)
+
+    p = sub.add_parser(
+        "recover", help="rebuild the report from a crashed run's journal"
+    )
+    p.add_argument("journal", help="spill journal path written by --journal")
+    p.add_argument("--log-dir", default=None, metavar="DIR",
+                   help="also write the zerosum.{pid}.log text dump to DIR")
+    p.add_argument("--archive", default=None, metavar="PATH",
+                   help="also write a columnar npz archive to PATH")
+    p.set_defaults(fn=_cmd_recover)
 
     args = parser.parse_args(argv)
     return args.fn(args)

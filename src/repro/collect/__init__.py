@@ -20,6 +20,12 @@ from repro.collect.collectors import (
     read_task,
 )
 from repro.collect.engine import CollectionEngine, collector_name
+from repro.collect.journal import (
+    JournalWriter,
+    RecoveredRun,
+    read_journal,
+    recover_journal,
+)
 from repro.collect.faults import (
     DegradationEvent,
     DegradationLedger,
@@ -52,6 +58,10 @@ __all__ = [
     "read_meminfo",
     "CollectionEngine",
     "collector_name",
+    "JournalWriter",
+    "RecoveredRun",
+    "read_journal",
+    "recover_journal",
     "SampleStore",
     "ReportBuilder",
     "ReplayZeroSum",

@@ -28,7 +28,7 @@ itself is gone, which only the driver can decide what to do about.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.collect.collectors import Collector
 from repro.collect.faults import TRANSIENT, FaultPolicy, classify_failure
@@ -37,7 +37,13 @@ from repro.core.heartbeat import ThreadSnapshot
 from repro.core.stream import SampleEvent, condense_event
 from repro.errors import ProcessVanishedError
 
+if TYPE_CHECKING:
+    from repro.collect.journal import JournalWriter
+
 __all__ = ["CollectionEngine", "collector_name"]
+
+#: consecutive journal-write failures before journaling is abandoned
+_JOURNAL_DISABLE_AFTER = 3
 
 
 def collector_name(collector: Collector) -> str:
@@ -54,10 +60,14 @@ class CollectionEngine:
         collectors: Iterable[Collector],
         *,
         policy: Optional[FaultPolicy] = None,
+        journal: Optional["JournalWriter"] = None,
     ):
         self.store = store
         self.collectors: list[Collector] = list(collectors)
         self.policy = policy or FaultPolicy()
+        #: crash-durability spill journal; None runs memory-only
+        self.journal = journal
+        self._journal_failures = 0
 
     def sample(self, tick: float) -> list[ThreadSnapshot]:
         """One periodic observation across all collectors.
@@ -149,5 +159,50 @@ class CollectionEngine:
         )
 
     def commit(self, tick: float, snapshots: list[ThreadSnapshot]) -> None:
-        """Close the period: record its tick and cumulative totals."""
+        """Close the period: record its tick and cumulative totals.
+
+        A closed period is durable-eligible: it is spooled to the spill
+        journal (when one is attached) *after* the store commit, so the
+        journal only ever contains whole periods.  A failing journal
+        must never kill the sampler — write errors are contained into
+        the ledger, and journaling is abandoned (with a reason) after
+        :data:`_JOURNAL_DISABLE_AFTER` consecutive failures.
+        """
         self.store.commit(tick, snapshots)
+        journal = self.journal
+        if journal is None:
+            return
+        try:
+            journal.record_period(self.store, tick)
+        except Exception as exc:
+            self._journal_failures += 1
+            reason = f"{type(exc).__name__}: {exc}"
+            self.store.ledger.record_error(
+                "Journal", tick, f"journal write failed: {reason}"
+            )
+            if self._journal_failures >= _JOURNAL_DISABLE_AFTER:
+                self.store.ledger.record_disable(
+                    "Journal",
+                    tick,
+                    f"{self._journal_failures} consecutive journal write "
+                    f"failures; last: {reason}",
+                )
+                self.journal = None
+        else:
+            self._journal_failures = 0
+
+    def close_journal(self, tick: float) -> None:
+        """Final checkpoint + close of the spill journal (contained)."""
+        journal = self.journal
+        if journal is None:
+            return
+        try:
+            journal.close(self.store)
+        except Exception as exc:
+            self.store.ledger.record_error(
+                "Journal",
+                tick,
+                f"final journal checkpoint failed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+        self.journal = None

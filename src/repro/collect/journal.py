@@ -1,0 +1,691 @@
+"""Crash-durable spill journal: the store's state, one rename ahead of death.
+
+ZeroSum's promise is a usable report *especially* when the run ends
+badly — OOM kill, walltime, ``kill -9`` (§3.3).  Everything the report
+needs lives in a :class:`~repro.collect.store.SampleStore` in memory,
+so this module spools that state to disk as the run progresses:
+
+* a **checkpoint** rewrites the whole journal — one ``meta`` record
+  plus one ``snapshot`` of every series, identity map, previous-totals
+  and the full :class:`~repro.collect.faults.DegradationLedger` — into
+  ``<path>.tmp``, fsyncs, and atomically renames it over the journal,
+  so a crash mid-checkpoint leaves the previous journal intact;
+* between checkpoints, each committed sampling period appends one
+  **period** record carrying only that period's new series rows (full
+  replacements for summary-mode stores and wrapped rings) plus the
+  small per-period state, flushed so it survives the process dying;
+* **note** records are out-of-band diagnostics (last-gasp signal
+  flushes, watchdog stall reports) that touch no store state and are
+  fsynced immediately.
+
+Every record is one line, framed ``ZSJ1 <len> <crc32> <json>``; a torn
+trailing record — the half-written line a ``kill -9`` leaves behind —
+fails the frame check and is discarded at recovery, with the tear
+counted in the recovered ledger rather than aborting the recovery.
+
+:func:`recover_journal` replays a journal back into a fresh store and
+returns a :class:`RecoveredRun` that rebuilds the full utilization +
+degradation report (and exposes the series maps the CSV/archive
+exporters expect) — the ``zerosum recover`` post-mortem workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.collect.faults import DegradationEvent, DegradationLedger
+from repro.collect.store import SampleStore
+from repro.core.records import SeriesBuffer
+from repro.errors import JournalError
+from repro.topology.cpuset import CpuSet
+from repro.units import USER_HZ
+
+if TYPE_CHECKING:
+    from repro.core.reports import UtilizationReport
+
+__all__ = ["JournalWriter", "RecoveredRun", "read_journal", "recover_journal"]
+
+_MAGIC = b"ZSJ1"
+FORMAT_VERSION = 1
+
+#: ledger counter dicts copied verbatim into / out of records
+_LEDGER_COUNTERS = (
+    "consecutive_failures",
+    "failed_periods",
+    "retries",
+    "dropped_rows",
+    "rolled_back_rows",
+)
+
+# -- record framing ---------------------------------------------------------
+def _frame(payload: dict) -> bytes:
+    """One journal line: magic, body length, CRC32, compact JSON."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    return b"%s %d %08x " % (_MAGIC, len(body), zlib.crc32(body)) + body + b"\n"
+
+
+def _unframe(line: bytes) -> Optional[dict]:
+    """Decode one line; ``None`` for anything torn or corrupt."""
+    parts = line.split(b" ", 3)
+    if len(parts) != 4 or parts[0] != _MAGIC:
+        return None
+    try:
+        length = int(parts[1])
+        crc = int(parts[2], 16)
+    except ValueError:
+        return None
+    body = parts[3]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    try:
+        return json.loads(body.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+# -- state (de)serialization ------------------------------------------------
+def _series_state(series: SeriesBuffer) -> dict:
+    return {
+        "columns": list(series.columns),
+        "rows": series.array.tolist(),
+        "appended": series.appended,
+    }
+
+
+def _series_from_state(
+    state: dict, max_rows: Optional[int] = None
+) -> SeriesBuffer:
+    series = SeriesBuffer(tuple(state["columns"]), max_rows=max_rows)
+    for row in state["rows"]:
+        series.append(row)
+    series.appended = int(state.get("appended", len(state["rows"])))
+    return series
+
+
+def _event_state(event: DegradationEvent) -> dict:
+    return {
+        "tick": event.tick,
+        "collector": event.collector,
+        "action": event.action,
+        "failure_class": event.failure_class,
+        "reason": event.reason,
+    }
+
+
+def _event_from_state(state: dict) -> DegradationEvent:
+    return DegradationEvent(
+        tick=state["tick"],
+        collector=state["collector"],
+        action=state["action"],
+        failure_class=state["failure_class"],
+        reason=state["reason"],
+    )
+
+
+def _ledger_state(ledger: DegradationLedger, *, since: int) -> dict:
+    """Counters in full (they are small), events from index ``since``.
+
+    The ring holds indexes ``[total_events - len, total_events)``;
+    events already evicted from it cannot be re-journaled, matching the
+    live ledger's own bounded-memory contract.
+    """
+    events = list(ledger.events)
+    start = ledger.total_events - len(events)
+    fresh = events[max(0, since - start):]
+    return {
+        "total_events": ledger.total_events,
+        "max_events": ledger.events.maxlen,
+        "counters": {k: getattr(ledger, k) for k in _LEDGER_COUNTERS},
+        "disabled": {
+            name: _event_state(event) for name, event in ledger.disabled.items()
+        },
+        "events": [_event_state(event) for event in fresh],
+    }
+
+
+def _apply_ledger(ledger: DegradationLedger, state: dict) -> None:
+    for key in _LEDGER_COUNTERS:
+        setattr(ledger, key, dict(state["counters"].get(key, {})))
+    ledger.disabled = {
+        name: _event_from_state(event)
+        for name, event in state.get("disabled", {}).items()
+    }
+    for event in state.get("events", []):
+        ledger.events.append(_event_from_state(event))
+    ledger.total_events = int(state["total_events"])
+
+
+def _identity_state(store: SampleStore) -> dict:
+    return {
+        "names": {str(tid): name for tid, name in store.lwp_names.items()},
+        "affinity": {
+            str(tid): cpus.to_list()
+            for tid, cpus in store.lwp_affinity.items()
+        },
+        "prev_totals": {
+            str(tid): total for tid, total in store.prev_totals.items()
+        },
+        "prev_tick": store.prev_tick,
+        "samples_taken": store.samples_taken,
+        "last_thread_count": store.last_thread_count,
+    }
+
+
+def _apply_identity(store: SampleStore, state: dict) -> None:
+    store.lwp_names = {int(t): name for t, name in state["names"].items()}
+    store.lwp_affinity = {
+        int(t): CpuSet.from_list(spec) for t, spec in state["affinity"].items()
+    }
+    store.prev_totals = {
+        int(t): total for t, total in state["prev_totals"].items()
+    }
+    store.prev_tick = float(state["prev_tick"])
+    store.samples_taken = int(state["samples_taken"])
+    store.last_thread_count = int(state["last_thread_count"])
+
+
+# -- the writer -------------------------------------------------------------
+class JournalWriter:
+    """Append-only, checkpoint-compacted spill journal of one store.
+
+    ``checkpoint_every`` periods, the whole journal is rewritten as a
+    single snapshot via temp-file + fsync + atomic rename — bounding
+    its size and guaranteeing a crash never leaves it half-written.
+    Appends between checkpoints are flushed per record (surviving a
+    ``kill -9``); ``fsync=True`` additionally fsyncs every checkpoint
+    and every :meth:`sync` (surviving power loss).  All entry points
+    take one lock, so a driver's last-gasp :meth:`sync` or
+    :meth:`note` may race the sampler thread's :meth:`record_period`
+    safely.
+
+    ``classify`` (optional) stamps each record with the driver's
+    thread-kind labels so the recovered report reproduces them.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        checkpoint_every: int = 10,
+        fsync: bool = True,
+        classify: Optional[Callable[[int], str]] = None,
+    ):
+        if checkpoint_every < 1:
+            raise JournalError("checkpoint_every must be >= 1")
+        self.path = Path(path)
+        self.checkpoint_every = checkpoint_every
+        self.fsync = fsync
+        self.classify = classify
+        self._file = None
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._cursors: dict[tuple[str, int], int] = {}
+        self._ledger_cursor = 0
+        self._meta: dict = {}
+        #: lifetime statistics, for heartbeats and tests
+        self.periods_recorded = 0
+        self.checkpoints_written = 0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._file is not None
+
+    def open(self, store: SampleStore, meta: dict) -> None:
+        """Write the initial meta + snapshot checkpoint."""
+        with self._lock:
+            if self._file is not None:
+                raise JournalError(f"journal {self.path} already open")
+            self._meta = {"version": FORMAT_VERSION, **meta}
+            self._checkpoint_locked(store)
+
+    def close(self, store: Optional[SampleStore] = None) -> None:
+        """Final checkpoint (when given the store) and close; idempotent."""
+        with self._lock:
+            if self._file is None:
+                return
+            if store is not None:
+                self._checkpoint_locked(store)
+            self._sync_locked()
+            self._file.close()
+            self._file = None
+
+    # -- recording ------------------------------------------------------
+    def update_meta(self, fields: dict) -> None:
+        """Append a meta amendment (e.g. the monitor tid, known late)."""
+        with self._lock:
+            self._require_open()
+            self._meta.update(fields)
+            self._file.write(_frame({"kind": "meta", **fields}))
+            self._file.flush()
+
+    def record_period(self, store: SampleStore, tick: float) -> None:
+        """Journal one committed period; every Nth becomes a checkpoint."""
+        with self._lock:
+            self._require_open()
+            self._seq += 1
+            self.periods_recorded += 1
+            if self._seq % self.checkpoint_every == 0:
+                self._checkpoint_locked(store, tick=tick)
+                return
+            self._file.write(_frame(self._period_record(store, tick)))
+            self._file.flush()
+
+    def note(self, tick: float, collector: str, reason: str) -> None:
+        """Durable out-of-band diagnostic; touches no store state.
+
+        Safe from signal handlers and the watchdog thread: it reads
+        nothing that the sampler may be mutating, and it fsyncs so the
+        diagnostic survives the death it is usually announcing.
+        """
+        with self._lock:
+            self._require_open()
+            self._file.write(
+                _frame(
+                    {
+                        "kind": "note",
+                        "tick": tick,
+                        "collector": collector,
+                        "reason": reason,
+                    }
+                )
+            )
+            self._sync_locked(force=True)
+
+    def sync(self) -> None:
+        """Flush + fsync everything appended so far (the last-gasp path)."""
+        with self._lock:
+            self._require_open()
+            self._sync_locked(force=True)
+
+    def checkpoint(self, store: SampleStore, tick: Optional[float] = None) -> None:
+        """Force a compacting snapshot checkpoint now."""
+        with self._lock:
+            self._require_open()
+            self._checkpoint_locked(store, tick=tick)
+
+    # -- internals ------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._file is None:
+            raise JournalError(f"journal {self.path} is not open")
+
+    def _sync_locked(self, force: bool = False) -> None:
+        self._file.flush()
+        if self.fsync or force:
+            os.fsync(self._file.fileno())
+
+    def _checkpoint_locked(
+        self, store: SampleStore, tick: Optional[float] = None
+    ) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(_frame({"kind": "meta", **self._meta}))
+            handle.write(_frame(self._snapshot_record(store, tick)))
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        if self.fsync:
+            dirfd = os.open(self.path.parent, os.O_RDONLY)
+            os.fsync(dirfd)
+            os.close(dirfd)
+        if self._file is not None:
+            self._file.close()
+        self._file = open(self.path, "ab")
+        # the snapshot carries everything: reset every delta cursor
+        self._cursors = {
+            (family, key): series.appended
+            for family, mapping in self._series_maps(store)
+            for key, series in mapping.items()
+        }
+        self._cursors[("mem", 0)] = store.mem_series.appended
+        self._ledger_cursor = store.ledger.total_events
+        self.checkpoints_written += 1
+
+    @staticmethod
+    def _series_maps(store: SampleStore):
+        return (
+            ("lwp", store.lwp_series),
+            ("hwt", store.hwt_series),
+            ("gpu", store.gpu_series),
+        )
+
+    def _kinds(self, store: SampleStore) -> dict[str, str]:
+        if self.classify is None:
+            return {}
+        return {str(tid): self.classify(tid) for tid in store.lwp_series}
+
+    def _snapshot_record(
+        self, store: SampleStore, tick: Optional[float]
+    ) -> dict:
+        state: dict = {
+            "keep_series": store.keep_series,
+            "max_rows": store.max_rows,
+            "summary_rows": store.summary_rows,
+            **_identity_state(store),
+            "mem": _series_state(store.mem_series),
+            "ledger": _ledger_state(
+                store.ledger,
+                since=store.ledger.total_events - len(store.ledger.events),
+            ),
+        }
+        for family, mapping in self._series_maps(store):
+            state[family] = {
+                str(key): _series_state(series)
+                for key, series in mapping.items()
+            }
+        return {
+            "kind": "snapshot",
+            "seq": self._seq,
+            "tick": store.prev_tick if tick is None else tick,
+            "kinds": self._kinds(store),
+            "store": state,
+        }
+
+    def _series_delta(
+        self, family: str, key: int, series: SeriesBuffer, keep_series: bool
+    ) -> Optional[dict]:
+        cursor = self._cursors.get((family, key), 0)
+        new = series.appended - cursor
+        self._cursors[(family, key)] = series.appended
+        if not keep_series:
+            # summary mode refreshes rows in place without appending, so
+            # the delta is the whole (<= summary_rows) series every time
+            return {"replace": True, **_series_state(series)}
+        if new <= 0:
+            return None
+        if new > len(series):
+            # the ring overwrote rows the cursor never saw: replace
+            return {"replace": True, **_series_state(series)}
+        return {
+            "columns": list(series.columns),
+            "rows": series.array[-new:].tolist(),
+            "appended": series.appended,
+        }
+
+    def _period_record(self, store: SampleStore, tick: float) -> dict:
+        series: dict = {}
+        for family, mapping in self._series_maps(store):
+            entries = {}
+            for key, buf in mapping.items():
+                entry = self._series_delta(family, key, buf, store.keep_series)
+                if entry is not None:
+                    entries[str(key)] = entry
+            if entries:
+                series[family] = entries
+        mem = self._series_delta("mem", 0, store.mem_series, store.keep_series)
+        if mem is not None:
+            series["mem"] = mem
+        record = {
+            "kind": "period",
+            "seq": self._seq,
+            "tick": tick,
+            "series": series,
+            "kinds": self._kinds(store),
+            **_identity_state(store),
+            "ledger": _ledger_state(store.ledger, since=self._ledger_cursor),
+        }
+        self._ledger_cursor = store.ledger.total_events
+        return record
+
+
+# -- recovery ---------------------------------------------------------------
+def read_journal(path: str | Path) -> tuple[list[dict], int]:
+    """All decodable records, plus the count of discarded torn lines.
+
+    Decoding stops at the first bad frame: everything after a tear is
+    unordered debris by definition (the writer is strictly
+    append-then-rename), so it is counted and discarded, never parsed.
+    """
+    data = Path(path).read_bytes()
+    records: list[dict] = []
+    lines = data.split(b"\n")
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        record = _unframe(line)
+        if record is None:
+            return records, sum(1 for rest in lines[index:] if rest)
+        records.append(record)
+    return records, 0
+
+
+def _store_from_snapshot(record: dict) -> SampleStore:
+    state = record["store"]
+    # reproduce the original retention policy: a ring store must evict
+    # recovered delta rows exactly as the live one did, or the report's
+    # first/last baselines drift from what the monitor would have built
+    keep_series = bool(state.get("keep_series", True))
+    max_rows = state.get("max_rows")
+    store = SampleStore(
+        keep_series=keep_series,
+        max_rows=max_rows,
+        summary_rows=int(state.get("summary_rows", 1)),
+    )
+    ring = max_rows if keep_series else None
+    _apply_identity(store, state)
+    for family, attr in (
+        ("lwp", "lwp_series"),
+        ("hwt", "hwt_series"),
+        ("gpu", "gpu_series"),
+    ):
+        setattr(
+            store,
+            attr,
+            {
+                int(key): _series_from_state(entry, ring)
+                for key, entry in state.get(family, {}).items()
+            },
+        )
+    store.mem_series = _series_from_state(state["mem"], ring)
+    ledger_state = state["ledger"]
+    store.ledger = DegradationLedger(
+        max_events=int(ledger_state.get("max_events") or 1024)
+    )
+    _apply_ledger(store.ledger, ledger_state)
+    return store
+
+
+def _apply_series_entry(
+    entry: dict,
+    existing: Optional[SeriesBuffer],
+    max_rows: Optional[int],
+) -> SeriesBuffer:
+    if entry.get("replace") or existing is None:
+        return _series_from_state(entry, max_rows)
+    for row in entry["rows"]:
+        existing.append(row)
+    existing.appended = int(entry["appended"])
+    return existing
+
+
+def _apply_period(store: SampleStore, record: dict) -> None:
+    series = record.get("series", {})
+    ring = store.max_rows if store.keep_series else None
+    for family, attr in (
+        ("lwp", "lwp_series"),
+        ("hwt", "hwt_series"),
+        ("gpu", "gpu_series"),
+    ):
+        mapping = getattr(store, attr)
+        for key, entry in series.get(family, {}).items():
+            k = int(key)
+            mapping[k] = _apply_series_entry(entry, mapping.get(k), ring)
+    if "mem" in series:
+        store.mem_series = _apply_series_entry(
+            series["mem"], store.mem_series, ring
+        )
+    _apply_identity(store, record)
+    _apply_ledger(store.ledger, record["ledger"])
+
+
+class RecoveredRun:
+    """A ``kill -9``'d run, rebuilt from its journal.
+
+    Exposes the same surface the live monitor offers the report and
+    export paths — ``report()``, the series maps, ``classify`` — so
+    :func:`repro.live.export.write_live_log` and the archive writer
+    work on a recovered run unchanged.
+    """
+
+    def __init__(
+        self,
+        store: SampleStore,
+        meta: dict,
+        *,
+        kinds: Optional[dict[int, str]] = None,
+        torn_records: int = 0,
+        path: Optional[Path] = None,
+    ):
+        self.store = store
+        self.meta = meta
+        self.kinds = kinds or {}
+        self.torn_records = torn_records
+        self.path = path
+        self.pid = int(meta.get("pid", 0))
+        self.hostname = str(meta.get("hostname", "?"))
+        self.rank: Optional[int] = meta.get("rank")
+        self.hz = float(meta.get("hz", USER_HZ))
+        self.baseline = str(meta.get("baseline", "first"))
+        self.start_tick = float(meta.get("start_tick", 0.0))
+        self.monitor_tid: Optional[int] = meta.get("monitor_tid")
+        self.cpus_allowed = CpuSet.from_list(str(meta.get("cpus_allowed", "")))
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def duration_ticks(self) -> float:
+        return max(1.0, self.store.prev_tick - self.start_tick)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ticks / self.hz
+
+    def classify(self, tid: int) -> str:
+        """Thread kind as stamped by the original driver."""
+        if tid in self.kinds:
+            return self.kinds[tid]
+        if tid == self.pid:
+            return "Main"
+        if self.monitor_tid is not None and tid == self.monitor_tid:
+            return "ZeroSum"
+        return "Other"
+
+    # -- the common monitor surface ------------------------------------
+    @property
+    def lwp_series(self):
+        return self.store.lwp_series
+
+    @property
+    def lwp_affinity(self):
+        return self.store.lwp_affinity
+
+    @property
+    def lwp_names(self):
+        return self.store.lwp_names
+
+    @property
+    def hwt_series(self):
+        return self.store.hwt_series
+
+    @property
+    def gpu_series(self):
+        return self.store.gpu_series
+
+    @property
+    def mem_series(self):
+        return self.store.mem_series
+
+    @property
+    def samples_taken(self) -> int:
+        return self.store.samples_taken
+
+    def observed_tids(self) -> list[int]:
+        """Every thread id recovered from the journal, sorted."""
+        return self.store.observed_tids()
+
+    # -- the report, rebuilt post mortem -------------------------------
+    def report(self) -> "UtilizationReport":
+        """The Listing 2 report as of the last journaled period."""
+        from repro.collect.report import ReportBuilder
+
+        builder = ReportBuilder(
+            self.store,
+            baseline=self.baseline,
+            start_tick=self.start_tick,
+            duration_ticks=self.duration_ticks,
+            classify=self.classify,
+        )
+        return builder.build(
+            duration_seconds=self.duration_seconds,
+            rank=self.rank,
+            pid=self.pid,
+            hostname=self.hostname,
+            cpus_allowed=self.cpus_allowed,
+        )
+
+
+def recover_journal(path: str | Path) -> RecoveredRun:
+    """Replay a (possibly truncated) journal into a recovered run.
+
+    Raises :class:`~repro.errors.JournalError` only when no snapshot
+    survives at all; a torn trailing record or a tail of lost periods
+    is degradation data, recorded in the recovered ledger.
+    """
+    path = Path(path)
+    records, torn = read_journal(path)
+    meta: dict = {}
+    kinds: dict[int, str] = {}
+    store: Optional[SampleStore] = None
+    notes: list[dict] = []
+    last_tick = 0.0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            fields = dict(record)
+            fields.pop("kind", None)
+            meta.update(fields)
+        elif kind == "snapshot":
+            store = _store_from_snapshot(record)
+            kinds.update(
+                (int(t), label) for t, label in record.get("kinds", {}).items()
+            )
+            last_tick = float(record.get("tick", last_tick))
+        elif kind == "period":
+            if store is None:
+                raise JournalError(
+                    f"{path}: period record before any snapshot"
+                )
+            _apply_period(store, record)
+            kinds.update(
+                (int(t), label) for t, label in record.get("kinds", {}).items()
+            )
+            last_tick = float(record.get("tick", last_tick))
+        elif kind == "note":
+            notes.append(record)
+        # unknown kinds: forward compatibility — skip, never fail
+    if store is None:
+        raise JournalError(
+            f"{path}: no usable snapshot record (empty or fully torn journal)"
+        )
+    # notes are journal-only diagnostics; apply them after the replayed
+    # ledger state so a later period's counters cannot erase them
+    for note in notes:
+        store.ledger.record_error(
+            str(note.get("collector", "Journal")),
+            float(note.get("tick", last_tick)),
+            str(note.get("reason", "")),
+        )
+    if torn:
+        store.ledger.record_error(
+            "Journal",
+            last_tick,
+            f"recovery discarded {torn} torn trailing record(s)",
+        )
+    return RecoveredRun(
+        store, meta, kinds=kinds, torn_records=torn, path=path
+    )

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -33,7 +34,78 @@ from repro.core.records import HWT_COLUMNS, LWP_COLUMNS, MEM_COLUMNS
 from repro.errors import MonitorError
 from repro.gpu.metrics import METRIC_ORDER
 
-__all__ = ["RankSeries", "ArchiveData", "write_archive", "read_archive"]
+__all__ = [
+    "RankSeries",
+    "ArchiveData",
+    "write_archive",
+    "write_store_archive",
+    "read_archive",
+]
+
+
+def _atomic_savez(path: str | Path | io.BytesIO, arrays: dict) -> None:
+    """Write a compressed npz atomically: ``*.tmp`` + fsync + rename.
+
+    An end-of-run archive is often the last thing a job writes before
+    walltime kills it; a crash mid-write must leave either the
+    previous archive or none — never a half-written one.  File-like
+    targets (``BytesIO``) write directly, as before.
+    """
+    if not isinstance(path, (str, Path)):
+        np.savez_compressed(path, **arrays)
+        return
+    final = Path(path)
+    if not final.name.endswith(".npz"):
+        # numpy appends .npz to plain string paths; mirror it so the
+        # rename target is the file callers will read back
+        final = final.with_name(final.name + ".npz")
+    tmp = final.with_name(final.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+
+
+def _columns_meta() -> dict:
+    return {
+        "lwp": list(LWP_COLUMNS),
+        "hwt": list(HWT_COLUMNS),
+        "mem": list(MEM_COLUMNS),
+        "gpu": ["tick", *METRIC_ORDER],
+    }
+
+
+def _add_rank_arrays(
+    arrays: dict,
+    meta: dict,
+    *,
+    key: int,
+    hostname: str,
+    duration_seconds: float,
+    pid: int,
+    lwp,
+    hwt,
+    gpu,
+    mem,
+    p2p: Optional[np.ndarray] = None,
+) -> None:
+    prefix = f"rank{key}"
+    meta["ranks"][str(key)] = {
+        "hostname": hostname,
+        "duration_seconds": duration_seconds,
+        "pid": pid,
+    }
+    for tid, series in lwp.items():
+        arrays[f"{prefix}/lwp/{tid}"] = series.array.copy()
+    for cpu, series in hwt.items():
+        arrays[f"{prefix}/hwt/{cpu}"] = series.array.copy()
+    for visible, series in gpu.items():
+        arrays[f"{prefix}/gpu/{visible}"] = series.array.copy()
+    if len(mem):
+        arrays[f"{prefix}/mem"] = mem.array.copy()
+    if p2p is not None:
+        arrays[f"{prefix}/p2p"] = p2p.copy()
 
 
 @dataclass
@@ -68,42 +140,67 @@ class ArchiveData:
 def write_archive(
     monitors: list[ZeroSum], path: str | Path | io.BytesIO
 ) -> None:
-    """Dump all rank monitors into one compressed npz archive."""
+    """Dump all rank monitors into one compressed npz archive.
+
+    Path targets are written atomically (tmp file, fsync, rename) so a
+    crash can never leave a half-written archive behind.
+    """
     if not monitors:
         raise MonitorError("no monitors to archive")
     arrays: dict[str, np.ndarray] = {}
-    meta: dict = {
-        "columns": {
-            "lwp": list(LWP_COLUMNS),
-            "hwt": list(HWT_COLUMNS),
-            "mem": list(MEM_COLUMNS),
-            "gpu": ["tick", *METRIC_ORDER],
-        },
-        "ranks": {},
-    }
+    meta: dict = {"columns": _columns_meta(), "ranks": {}}
     for monitor in monitors:
         rank = monitor.process.rank
-        key = rank if rank is not None else -monitor.process.pid
-        prefix = f"rank{key}"
-        meta["ranks"][str(key)] = {
-            "hostname": monitor.process.node.hostname,
-            "duration_seconds": monitor.duration_seconds,
-            "pid": monitor.process.pid,
-        }
-        for tid, series in monitor.lwp_series.items():
-            arrays[f"{prefix}/lwp/{tid}"] = series.array.copy()
-        for cpu, series in monitor.hwt_series.items():
-            arrays[f"{prefix}/hwt/{cpu}"] = series.array.copy()
-        for visible, series in monitor.gpu_series.items():
-            arrays[f"{prefix}/gpu/{visible}"] = series.array.copy()
-        if len(monitor.mem_series):
-            arrays[f"{prefix}/mem"] = monitor.mem_series.array.copy()
-        if monitor.recorder is not None:
-            arrays[f"{prefix}/p2p"] = monitor.recorder.bytes.copy()
+        _add_rank_arrays(
+            arrays,
+            meta,
+            key=rank if rank is not None else -monitor.process.pid,
+            hostname=monitor.process.node.hostname,
+            duration_seconds=monitor.duration_seconds,
+            pid=monitor.process.pid,
+            lwp=monitor.lwp_series,
+            hwt=monitor.hwt_series,
+            gpu=monitor.gpu_series,
+            mem=monitor.mem_series,
+            p2p=monitor.recorder.bytes if monitor.recorder is not None else None,
+        )
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode(), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
+
+
+def write_store_archive(
+    run,
+    path: str | Path | io.BytesIO,
+) -> None:
+    """Archive one store-backed run (live monitor or recovered journal).
+
+    ``run`` is anything with the common monitor surface — the series
+    maps plus ``pid``/``hostname``/``duration_seconds`` and optional
+    ``rank`` — which is exactly what :class:`~repro.collect.journal.
+    RecoveredRun` exposes, making a ``kill -9``'d run archivable after
+    the fact.  Written atomically, same as :func:`write_archive`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"columns": _columns_meta(), "ranks": {}}
+    rank = getattr(run, "rank", None)
+    _add_rank_arrays(
+        arrays,
+        meta,
+        key=rank if rank is not None else -run.pid,
+        hostname=run.hostname,
+        duration_seconds=run.duration_seconds,
+        pid=run.pid,
+        lwp=run.lwp_series,
+        hwt=run.hwt_series,
+        gpu=run.gpu_series,
+        mem=run.mem_series,
+    )
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    _atomic_savez(path, arrays)
 
 
 def read_archive(path: str | Path | io.BytesIO) -> ArchiveData:

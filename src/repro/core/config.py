@@ -66,6 +66,28 @@ class ZeroSumConfig:
     #: base backoff between live-monitor retries, doubled per attempt
     #: (the simulated monitor never sleeps regardless)
     fault_backoff_seconds: float = 0.0
+    #: crash durability: spool every committed period to this spill
+    #: journal so a kill -9'd run stays recoverable (None disables)
+    journal_path: str | None = None
+    #: compact the journal into an atomic snapshot every N periods
+    journal_checkpoint_every: int = 10
+    #: fsync the journal at checkpoints (power-loss durability; plain
+    #: per-record flushes already survive a process kill)
+    journal_fsync: bool = True
+    #: write heartbeat lines to this file as well as keeping them in
+    #: memory (None keeps them in memory only)
+    heartbeat_path: str | None = None
+    #: fsync the heartbeat file after every line, so an external
+    #: watchdog reading it never sees a stale-but-buffered heartbeat
+    heartbeat_fsync: bool = False
+    #: last-gasp flush: install SIGTERM/SIGINT + atexit handlers that
+    #: fsync the journal before the process dies (live monitor only;
+    #: effective only when a journal is configured)
+    last_gasp: bool = True
+    #: watchdog: flag a stalled sampler thread or a monitored process
+    #: whose jiffies stop advancing after this many sampling periods
+    #: of silence (0 disables the watchdog)
+    watchdog_stall_periods: float = 0.0
     #: extra environment-style options
     extra: dict[str, str] = field(default_factory=dict)
 
@@ -95,6 +117,10 @@ class ZeroSumConfig:
             raise MonitorError("fault_disable_after must be >= 0")
         if self.fault_backoff_seconds < 0:
             raise MonitorError("fault_backoff_seconds must be >= 0")
+        if self.journal_checkpoint_every < 1:
+            raise MonitorError("journal_checkpoint_every must be >= 1")
+        if self.watchdog_stall_periods < 0:
+            raise MonitorError("watchdog_stall_periods must be >= 0")
         if self.deadlock_action not in ("report", "terminate"):
             raise MonitorError("deadlock_action must be 'report' or 'terminate'")
         if self.openmp_detection not in ("ompt", "probe"):

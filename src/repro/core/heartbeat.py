@@ -12,13 +12,20 @@ is flagged.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
     from repro.collect.faults import DegradationLedger
 
-__all__ = ["ThreadSnapshot", "ProgressTracker", "heartbeat_line"]
+__all__ = [
+    "ThreadSnapshot",
+    "ProgressTracker",
+    "HeartbeatWriter",
+    "heartbeat_line",
+]
 
 
 def heartbeat_line(
@@ -27,6 +34,7 @@ def heartbeat_line(
     pid: int,
     threads: int,
     ledger: Optional["DegradationLedger"] = None,
+    last_sample_age_s: Optional[float] = None,
 ) -> str:
     """One heartbeat: liveness, thread count, and any degradation.
 
@@ -34,11 +42,51 @@ def heartbeat_line(
     names what is disabled or dropping rows so an operator watching
     stdout learns why a column will be missing before the final
     report.
+
+    ``last_sample_age_s`` is the monotonic-clock age of the newest
+    completed sample.  With it in every line, an external watchdog can
+    detect a stalled sampler from the heartbeat file alone: a healthy
+    monitor writes small ages, a wedged one writes growing ages (or
+    stops writing, which the file's mtime betrays either way).
     """
     line = f"[zerosum] t={seconds:.1f}s pid={pid} viable, {threads} threads"
+    if last_sample_age_s is not None:
+        line += f" last_sample_age={last_sample_age_s:.1f}s"
     if ledger is not None and ledger.degraded:
         line += f" [degraded: {ledger.degraded_summary()}]"
     return line
+
+
+class HeartbeatWriter:
+    """Append-only heartbeat file with opt-in fsync-per-line.
+
+    The default flushes each line to the OS (survives the process
+    dying); ``fsync=True`` additionally forces it to stable storage so
+    a node-level watchdog never reads a stale-but-acknowledged
+    heartbeat after power loss.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def write(self, line: str) -> None:
+        """Append one heartbeat line, flushed (and fsynced if opted in)."""
+        self._file.write(line.rstrip("\n") + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def flush(self) -> None:
+        """Force everything written so far to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Close the file; idempotent."""
+        if not self._file.closed:
+            self._file.close()
 
 
 @dataclass(frozen=True)

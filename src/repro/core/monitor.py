@@ -32,6 +32,7 @@ from repro.collect import (
     CollectionEngine,
     GpuCollector,
     HwtCollector,
+    JournalWriter,
     LwpCollector,
     MemoryCollector,
     SampleStore,
@@ -123,6 +124,17 @@ class ZeroSum:
             )
         if self.smi is not None:
             collectors.append(GpuCollector(self.store, self.smi))
+        # crash-durability spill journal: the sim driver journals the
+        # same way the live one does, which is what makes the recovery
+        # path deterministically testable (bit-identical reports)
+        self.journal: Optional[JournalWriter] = None
+        if self.config.journal_path:
+            self.journal = JournalWriter(
+                self.config.journal_path,
+                checkpoint_every=self.config.journal_checkpoint_every,
+                fsync=self.config.journal_fsync,
+                classify=self.classify,
+            )
         # containment policy: no backoff actuator — retries are
         # immediate re-reads, keeping simulated sampling deterministic
         self.engine = CollectionEngine(
@@ -132,7 +144,23 @@ class ZeroSum:
                 max_retries=self.config.fault_retries,
                 disable_after=self.config.fault_disable_after,
             ),
+            journal=self.journal,
         )
+        if self.journal is not None:
+            self.journal.open(
+                self.store,
+                {
+                    "driver": "sim",
+                    "baseline": "zero",
+                    "hz": kernel.clock.hz,
+                    "start_tick": self.start_tick,
+                    "pid": process.pid,
+                    "rank": process.rank,
+                    "hostname": process.node.hostname,
+                    "cpus_allowed": self.initial.cpus_allowed.to_list(),
+                    "period_seconds": self.config.period_seconds,
+                },
+            )
 
         #: optional live export bus (the LDMS/TAU seam, §6)
         self.stream = stream
@@ -292,6 +320,7 @@ class ZeroSum:
         self.end_tick = self.kernel.now
         if self.recorder is not None:
             self.recorder.detach_all()
+        self.engine.close_journal(self.kernel.now)
         self._finalized = True
 
     # -- store access (the series live in the shared SampleStore) ------

@@ -53,6 +53,17 @@ class ProcessVanishedError(ProcFSError):
     """
 
 
+class JournalError(ReproError):
+    """Unusable crash journal (no snapshot record, misuse of the writer).
+
+    Torn *trailing* records are not errors — recovery discards them and
+    counts the tear in the degradation ledger.  This exception is for a
+    journal that cannot produce any state at all (empty, fully torn, or
+    a period record with no preceding snapshot) and for writer misuse
+    (recording into a journal that was never opened).
+    """
+
+
 class SchedulerError(ReproError):
     """Invalid scheduling request (bad affinity, unknown LWP, ...)."""
 

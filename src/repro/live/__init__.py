@@ -2,6 +2,7 @@
 
 from repro.live.export import write_live_log
 from repro.live.monitor import LiveZeroSum
+from repro.live.watchdog import SamplerWatchdog, StallEvent
 from repro.live.sampler import (
     list_tasks,
     read_cpu_times,
@@ -12,6 +13,8 @@ from repro.live.sampler import (
 
 __all__ = [
     "LiveZeroSum",
+    "SamplerWatchdog",
+    "StallEvent",
     "write_live_log",
     "list_tasks",
     "read_task",

@@ -9,13 +9,20 @@ kernel's ``/proc`` through a
 is a genuinely usable user-space monitor for the hosting Python
 application.
 
-This class only owns scheduling (a ``threading`` loop) and lifecycle;
-it contains no sampling or report-delta code of its own.
+This class only owns scheduling (a ``threading`` loop) and lifecycle —
+including *crash durability*: when a spill journal is configured, each
+committed period is spooled to disk, a SIGTERM/SIGINT/atexit last-gasp
+path fsyncs the journal before death, and a watchdog thread reports a
+stalled sampler or a CPU-silent application into the heartbeat, the
+ledger, and the journal.  It contains no sampling or report-delta
+code of its own.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal
 import socket
 import threading
 import time
@@ -24,6 +31,7 @@ from typing import Optional
 from repro.collect import (
     CollectionEngine,
     HwtCollector,
+    JournalWriter,
     LwpCollector,
     MemoryCollector,
     ProcReader,
@@ -34,11 +42,16 @@ from repro.collect import (
 from repro.collect.faults import FaultPolicy, is_missing
 from repro.collect.report import ReportBuilder
 from repro.core.config import ZeroSumConfig
+from repro.core.heartbeat import HeartbeatWriter, heartbeat_line
 from repro.core.reports import UtilizationReport
 from repro.errors import MonitorError, ProcessVanishedError, ProcFSError
+from repro.live.watchdog import SamplerWatchdog
 from repro.units import USER_HZ
 
 __all__ = ["LiveZeroSum"]
+
+#: signals that trigger the last-gasp journal flush
+_LAST_GASP_SIGNALS = (signal.SIGTERM, signal.SIGINT)
 
 
 class LiveZeroSum:
@@ -62,7 +75,18 @@ class LiveZeroSum:
         self._monitor_tid: Optional[int] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._watchdog_thread: Optional[threading.Thread] = None
         self._stopped = False
+        #: monotonic timestamp of the newest completed sample
+        self._last_sample_wall: Optional[float] = None
+        self.heartbeats: list[str] = []
+        self._heartbeat: Optional[HeartbeatWriter] = None
+        if self.config.heartbeat_path:
+            self._heartbeat = HeartbeatWriter(
+                self.config.heartbeat_path, fsync=self.config.heartbeat_fsync
+            )
+        self._prev_signal_handlers: dict[int, object] = {}
+        self._atexit_registered = False
 
         self.cpus_allowed = read_task(self.reader, self.pid, self.pid)[1].cpus_allowed
 
@@ -82,6 +106,15 @@ class LiveZeroSum:
             collectors.append(
                 MemoryCollector(self.reader, self.store, self.pid)
             )
+        #: crash-durability spill journal (None runs memory-only)
+        self.journal: Optional[JournalWriter] = None
+        if self.config.journal_path:
+            self.journal = JournalWriter(
+                self.config.journal_path,
+                checkpoint_every=self.config.journal_checkpoint_every,
+                fsync=self.config.journal_fsync,
+                classify=self.classify,
+            )
         self.engine = CollectionEngine(
             self.store,
             collectors,
@@ -91,19 +124,54 @@ class LiveZeroSum:
                 backoff_seconds=self.config.fault_backoff_seconds,
                 sleep=time.sleep,
             ),
+            journal=self.journal,
         )
+        #: watchdog over the sampler and the monitored process's jiffies
+        self.watchdog: Optional[SamplerWatchdog] = None
+        if self.config.watchdog_stall_periods > 0:
+            self.watchdog = SamplerWatchdog(
+                stall_after_seconds=(
+                    self.config.watchdog_stall_periods
+                    * self.config.period_seconds
+                ),
+                last_sample_time=lambda: self._last_sample_wall,
+                jiffies_total=self._app_jiffies_total,
+            )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start the asynchronous sampling thread."""
+        """Start sampling; arm the journal, watchdog, and last gasp."""
         if self._thread is not None and self._thread.is_alive():
             raise MonitorError("live monitor already started")
         self._stop.clear()
         self._stopped = False
+        if self.journal is not None and not self.journal.is_open:
+            self.journal.open(self.store, self._journal_meta())
+            self.engine.journal = self.journal
         self._thread = threading.Thread(
             target=self._loop, name="zerosum", daemon=True
         )
         self._thread.start()
+        if self.watchdog is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, name="zerosum-watchdog", daemon=True
+            )
+            self._watchdog_thread.start()
+        if self.config.last_gasp and self.journal is not None:
+            self._install_last_gasp()
+
+    def _journal_meta(self) -> dict:
+        return {
+            "driver": "live",
+            "baseline": "first",
+            "hz": USER_HZ,
+            "start_tick": 0.0,
+            "pid": self.pid,
+            "rank": None,
+            "hostname": self.hostname,
+            "cpus_allowed": self.cpus_allowed.to_list(),
+            "period_seconds": self.config.period_seconds,
+        }
 
     def stop(self, timeout: float = 5.0) -> None:
         """Stop sampling and take the final sample.
@@ -118,6 +186,11 @@ class LiveZeroSum:
         if self._stopped:
             return
         self._stop.set()
+        watchdog_thread = self._watchdog_thread
+        if watchdog_thread is not None:
+            watchdog_thread.join(timeout=timeout)
+            if not watchdog_thread.is_alive():
+                self._watchdog_thread = None
         thread = self._thread
         if thread is not None:
             thread.join(timeout=timeout)
@@ -140,6 +213,169 @@ class LiveZeroSum:
                 "LiveZeroSum", self._now_tick(), f"final sample failed: {exc}"
             )
         self.end_time = time.monotonic()
+        self.engine.close_journal(self._now_tick())
+        self._uninstall_last_gasp()
+        if self._heartbeat is not None:
+            self._heartbeat.close()
+
+    # -- crash durability ----------------------------------------------
+    def flush_now(self) -> None:
+        """Force everything journaled so far to stable storage.
+
+        The explicit last-gasp entry point: cheap (an fsync, not a
+        snapshot — the journal only ever holds whole committed
+        periods), lock-protected against the sampler thread, and safe
+        to call from signal handlers, atexit, or application code at
+        any point between :meth:`start` and :meth:`stop`.
+        """
+        journal = self.engine.journal
+        if journal is not None and journal.is_open:
+            try:
+                journal.sync()
+            except OSError as exc:
+                self.store.ledger.record_error(
+                    "Journal",
+                    self._now_tick(),
+                    f"last-gasp sync failed: {exc}",
+                )
+        if self._heartbeat is not None:
+            try:
+                self._heartbeat.flush()
+            except (OSError, ValueError) as exc:
+                self.store.ledger.record_error(
+                    "Heartbeat",
+                    self._now_tick(),
+                    f"last-gasp flush failed: {exc}",
+                )
+
+    def _install_last_gasp(self) -> None:
+        if not self._atexit_registered:
+            atexit.register(self._atexit_flush)
+            self._atexit_registered = True
+        for signum in _LAST_GASP_SIGNALS:
+            try:
+                self._prev_signal_handlers[signum] = signal.signal(
+                    signum, self._on_last_gasp_signal
+                )
+            except ValueError as exc:
+                # signal.signal only works on the main thread — record
+                # the degraded durability rather than failing start()
+                self.store.ledger.record_error(
+                    "LastGasp",
+                    self._now_tick(),
+                    f"signal handlers unavailable: {exc}",
+                )
+                break
+
+    def _uninstall_last_gasp(self) -> None:
+        if self._atexit_registered:
+            atexit.unregister(self._atexit_flush)
+            self._atexit_registered = False
+        handlers, self._prev_signal_handlers = self._prev_signal_handlers, {}
+        for signum, previous in handlers.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError) as exc:
+                self.store.ledger.record_error(
+                    "LastGasp",
+                    self._now_tick(),
+                    f"could not restore handler for signal {signum}: {exc}",
+                )
+
+    def _atexit_flush(self) -> None:
+        journal = self.engine.journal
+        if journal is not None and journal.is_open:
+            try:
+                journal.note(
+                    self._now_tick(), "LastGasp", "atexit: journal flushed"
+                )
+            except (OSError, ValueError) as exc:
+                self.store.ledger.record_error(
+                    "LastGasp", self._now_tick(), f"atexit note failed: {exc}"
+                )
+        self.flush_now()
+
+    def _on_last_gasp_signal(self, signum: int, frame) -> None:
+        journal = self.engine.journal
+        if journal is not None and journal.is_open:
+            try:
+                journal.note(
+                    self._now_tick(),
+                    "LastGasp",
+                    f"caught signal {signum}; journal flushed",
+                )
+            except (OSError, ValueError) as exc:
+                self.store.ledger.record_error(
+                    "LastGasp",
+                    self._now_tick(),
+                    f"signal {signum} note failed: {exc}",
+                )
+        self.flush_now()
+        previous = self._prev_signal_handlers.get(signum)
+        if callable(previous):
+            previous(signum, frame)
+            return
+        if previous is signal.SIG_IGN:
+            return
+        # default disposition: die by this signal, but only after the
+        # flush above made the journal durable
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    # -- watchdog -------------------------------------------------------
+    def _app_jiffies_total(self) -> float:
+        """Cumulative utime+stime of the app, minus the monitor itself."""
+        return sum(
+            total
+            for tid, total in self.store.prev_totals.items()
+            if tid != self._monitor_tid
+        )
+
+    def _watchdog_loop(self) -> None:
+        interval = max(0.05, self.config.period_seconds)
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            for event in self.watchdog.check(now):
+                tick = self._now_tick()
+                reason = event.render()
+                self.store.ledger.record_error("Watchdog", tick, reason)
+                self._emit_heartbeat(
+                    heartbeat_line(
+                        seconds=now - self.start_time,
+                        pid=self.pid,
+                        threads=self.store.last_thread_count,
+                        ledger=self.store.ledger,
+                        last_sample_age_s=self._sample_age(now),
+                    )
+                )
+                journal = self.engine.journal
+                if journal is not None and journal.is_open:
+                    try:
+                        journal.note(tick, "Watchdog", reason)
+                    except (OSError, ValueError) as exc:
+                        self.store.ledger.record_error(
+                            "Journal",
+                            tick,
+                            f"watchdog note failed: {exc}",
+                        )
+
+    def _sample_age(self, now: float) -> float:
+        if self._last_sample_wall is None:
+            return now - self.start_time
+        return now - self._last_sample_wall
+
+    # -- heartbeat ------------------------------------------------------
+    def _emit_heartbeat(self, line: str) -> None:
+        self.heartbeats.append(line)
+        if self._heartbeat is not None:
+            try:
+                self._heartbeat.write(line)
+            except (OSError, ValueError) as exc:
+                self.store.ledger.record_error(
+                    "Heartbeat",
+                    self._now_tick(),
+                    f"heartbeat write failed: {exc}",
+                )
 
     def _loop(self) -> None:
         """Sample every period; degradation is data, not death.
@@ -152,6 +388,17 @@ class LiveZeroSum:
         the loop keeps going.
         """
         self._monitor_tid = threading.get_native_id()
+        journal = self.engine.journal
+        if journal is not None and journal.is_open:
+            try:
+                # the recovered report needs this to label the sampler
+                journal.update_meta({"monitor_tid": self._monitor_tid})
+            except (OSError, ValueError) as exc:
+                self.store.ledger.record_error(
+                    "Journal",
+                    self._now_tick(),
+                    f"monitor-tid meta update failed: {exc}",
+                )
         while not self._stop.wait(self.config.period_seconds):
             tick = self._now_tick()
             try:
@@ -195,6 +442,22 @@ class LiveZeroSum:
         tick = self._now_tick()
         snapshots = self.engine.sample(tick)
         self.engine.commit(tick, snapshots)
+        now = time.monotonic()
+        age = self._sample_age(now)
+        self._last_sample_wall = now
+        if (
+            self.config.heartbeat_every
+            and self.store.samples_taken % self.config.heartbeat_every == 0
+        ):
+            self._emit_heartbeat(
+                heartbeat_line(
+                    seconds=now - self.start_time,
+                    pid=self.pid,
+                    threads=len(snapshots),
+                    ledger=self.store.ledger,
+                    last_sample_age_s=age,
+                )
+            )
 
     # ------------------------------------------------------------------
     def classify(self, tid: int) -> str:
@@ -238,8 +501,17 @@ class LiveZeroSum:
         return self.store.hwt_series
 
     @property
+    def gpu_series(self):
+        return self.store.gpu_series
+
+    @property
     def mem_series(self):
         return self.store.mem_series
+
+    @property
+    def duration_seconds(self) -> float:
+        """Observation window in wall-clock seconds (so far, if running)."""
+        return (self.end_time or time.monotonic()) - self.start_time
 
     @property
     def samples_taken(self) -> int:

@@ -1,0 +1,321 @@
+"""Spill journal: framing, round trips, torn tails, containment."""
+
+import pytest
+
+from tests.helpers import run_miniqmc
+from repro.collect import CollectionEngine, SampleStore
+from repro.collect.journal import (
+    JournalWriter,
+    _frame,
+    _unframe,
+    read_journal,
+    recover_journal,
+)
+from repro.core import ZeroSumConfig, build_report
+from repro.core.records import HWT_COLUMNS, LWP_COLUMNS, MEM_COLUMNS
+from repro.errors import JournalError
+from repro.topology import CpuSet
+
+
+def lwp_row(tick: float, utime: float) -> tuple:
+    row = [0.0] * len(LWP_COLUMNS)
+    row[0], row[2] = tick, utime
+    return tuple(row)
+
+
+def hwt_row(tick: float, user: float) -> tuple:
+    row = [0.0] * len(HWT_COLUMNS)
+    row[0], row[1] = tick, user
+    return tuple(row)
+
+
+META = {
+    "driver": "test",
+    "pid": 100,
+    "rank": 0,
+    "hostname": "node0",
+    "hz": 100.0,
+    "baseline": "zero",
+    "start_tick": 0.0,
+    "cpus_allowed": "0-3",
+}
+
+
+def drive(store: SampleStore, writer: JournalWriter, ticks) -> None:
+    """Simulate committed periods the way a driver would."""
+    for t in ticks:
+        store.add_lwp_row(100, lwp_row(t, 10.0 * t), name="main",
+                          affinity=CpuSet([0]))
+        store.add_lwp_row(101, lwp_row(t, 5.0 * t), name="worker",
+                          affinity=CpuSet([1]))
+        store.add_hwt_row(0, hwt_row(t, 50.0))
+        store.add_mem_row((t,) + (0.0,) * (len(MEM_COLUMNS) - 1))
+        store.commit(t, [])
+        writer.record_period(store, t)
+
+
+def assert_stores_equal(a: SampleStore, b: SampleStore) -> None:
+    assert set(a.lwp_series) == set(b.lwp_series)
+    for tid in a.lwp_series:
+        assert a.lwp_series[tid].array.tolist() == \
+            b.lwp_series[tid].array.tolist()
+    for cpu in a.hwt_series:
+        assert a.hwt_series[cpu].array.tolist() == \
+            b.hwt_series[cpu].array.tolist()
+    assert a.mem_series.array.tolist() == b.mem_series.array.tolist()
+    assert a.lwp_names == b.lwp_names
+    assert a.lwp_affinity == b.lwp_affinity
+    assert a.prev_totals == b.prev_totals
+    assert a.prev_tick == b.prev_tick
+    assert a.samples_taken == b.samples_taken
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = {"kind": "note", "tick": 1.5, "reason": "x"}
+        assert _unframe(_frame(payload).rstrip(b"\n")) == payload
+
+    def test_truncated_line_is_rejected(self):
+        line = _frame({"kind": "period", "tick": 2.0}).rstrip(b"\n")
+        assert _unframe(line[:-3]) is None
+
+    def test_corrupt_body_is_rejected(self):
+        line = bytearray(_frame({"kind": "period"}).rstrip(b"\n"))
+        line[-2] ^= 0xFF
+        assert _unframe(bytes(line)) is None
+
+    def test_garbage_is_rejected(self):
+        assert _unframe(b"not a journal line") is None
+
+    def test_read_stops_at_first_tear(self, tmp_path):
+        path = tmp_path / "j.zsj"
+        good = _frame({"kind": "meta"}) + _frame({"kind": "snapshot"})
+        path.write_bytes(good + b"ZSJ1 999 deadbeef {tor" + b"\n"
+                         + _frame({"kind": "period"}))
+        records, torn = read_journal(path)
+        # the record after the tear is unordered debris: counted, not parsed
+        assert [r["kind"] for r in records] == ["meta", "snapshot"]
+        assert torn == 2
+
+
+class TestRoundTrip:
+    def test_full_series_round_trip(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=4,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 11)])
+        writer.close(store)
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert_stores_equal(store, recovered.store)
+        assert recovered.pid == 100
+        assert recovered.rank == 0
+        assert recovered.cpus_allowed == CpuSet.from_list("0-3")
+        assert recovered.torn_records == 0
+
+    def test_recovery_without_final_close(self, tmp_path):
+        """kill -9 shape: periods flushed, no closing checkpoint."""
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 8)])
+        # no close(): the process just stops existing
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert_stores_equal(store, recovered.store)
+
+    def test_checkpoint_compacts_the_journal(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=5,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 21)])
+        records, torn = read_journal(tmp_path / "j.zsj")
+        kinds = [r["kind"] for r in records]
+        # every 5th period rewrites meta+snapshot; <=4 deltas may follow
+        assert kinds[0] == "meta" and kinds[1] == "snapshot"
+        assert kinds.count("period") <= 4
+        assert writer.checkpoints_written >= 4
+        assert torn == 0
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert_stores_equal(store, recovered.store)
+
+    def test_summary_mode_round_trip(self, tmp_path):
+        store = SampleStore(keep_series=False, summary_rows=2)
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 9)])
+        recovered = recover_journal(tmp_path / "j.zsj")
+        # summary mode rewrites rows in place; deltas must carry full
+        # replacements, not appends
+        for tid in store.lwp_series:
+            assert store.lwp_series[tid].array.tolist() == \
+                recovered.store.lwp_series[tid].array.tolist()
+        assert recovered.store.prev_tick == store.prev_tick
+
+    def test_ring_store_round_trip(self, tmp_path):
+        store = SampleStore(max_rows=3)
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 12)])
+        recovered = recover_journal(tmp_path / "j.zsj")
+        for tid in store.lwp_series:
+            assert store.lwp_series[tid].array.tolist() == \
+                recovered.store.lwp_series[tid].array.tolist()
+
+    def test_ledger_round_trip_and_degradation_summary(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=3,
+                               fsync=False, classify=lambda tid: "Main")
+        writer.open(store, META)
+        drive(store, writer, [1.0, 2.0])
+        store.ledger.record_error("LwpCollector", 2.5, "simulated hiccup")
+        drive(store, writer, [3.0, 4.0, 5.0])
+        writer.close(store)
+        recovered = recover_journal(tmp_path / "j.zsj")
+        ledger = recovered.store.ledger
+        assert ledger.total_events == store.ledger.total_events
+        assert any("simulated hiccup" in e.reason for e in ledger.events)
+        assert "Degradation Summary:" in recovered.report().render()
+
+    def test_notes_survive_into_recovered_ledger(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [1.0, 2.0])
+        writer.note(2.0, "LastGasp", "caught signal 15")
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert any(
+            e.collector == "LastGasp" and "signal 15" in e.reason
+            for e in recovered.store.ledger.events
+        )
+
+    def test_meta_amendment_merges(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        writer.update_meta({"monitor_tid": 555})
+        drive(store, writer, [1.0])
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert recovered.monitor_tid == 555
+        assert recovered.classify(555) == "ZeroSum"
+
+
+class TestTornTail:
+    def _journal(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 6)])
+        return store, tmp_path / "j.zsj"
+
+    def test_torn_trailing_record_is_skipped(self, tmp_path):
+        store, path = self._journal(tmp_path)
+        whole = path.read_bytes()
+        last = whole.rstrip(b"\n").rsplit(b"\n", 1)[-1]
+        path.write_bytes(whole[: len(whole) - len(last) // 2 - 1])
+        recovered = recover_journal(path)
+        assert recovered.torn_records == 1
+        assert any(
+            "torn trailing record" in e.reason
+            for e in recovered.store.ledger.events
+        )
+        # everything before the tear replays: one period at most is lost
+        assert recovered.store.prev_tick >= 4.0
+        recovered.report().render()  # and the report still builds
+
+    def test_garbage_tail_is_skipped(self, tmp_path):
+        _, path = self._journal(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xffgarbage after the crash")
+        recovered = recover_journal(path)
+        assert recovered.torn_records == 1
+
+    def test_fully_torn_journal_raises(self, tmp_path):
+        path = tmp_path / "j.zsj"
+        path.write_bytes(b"ZSJ1 12 00000000 tornrecord")
+        with pytest.raises(JournalError):
+            recover_journal(path)
+
+    def test_empty_journal_raises(self, tmp_path):
+        path = tmp_path / "j.zsj"
+        path.write_bytes(b"")
+        with pytest.raises(JournalError):
+            recover_journal(path)
+
+
+class TestSimBitIdentical:
+    """The acceptance bar: a recovered report == the live report."""
+
+    def _run(self, tmp_path, **cfg):
+        step = run_miniqmc(
+            "OMP_NUM_THREADS=7 srun -n1 -c7 miniqmc",
+            blocks=4,
+            zs_config=ZeroSumConfig(
+                journal_path=str(tmp_path / "rank0.zsj"),
+                journal_fsync=False,
+                **cfg,
+            ),
+        )
+        return step.monitors[0], tmp_path / "rank0.zsj"
+
+    def test_recovered_report_is_bit_identical(self, tmp_path):
+        monitor, path = self._run(tmp_path, journal_checkpoint_every=3)
+        recovered = recover_journal(path)
+        assert recovered.report().render() == build_report(monitor).render()
+        assert recovered.torn_records == 0
+
+    def test_bit_identical_without_compaction(self, tmp_path):
+        monitor, path = self._run(tmp_path, journal_checkpoint_every=10_000)
+        recovered = recover_journal(path)
+        assert recovered.report().render() == build_report(monitor).render()
+
+    def test_recovered_thread_kinds_match(self, tmp_path):
+        monitor, path = self._run(tmp_path)
+        recovered = recover_journal(path)
+        for tid in monitor.lwp_series:
+            assert recovered.classify(tid) == monitor.classify(tid)
+
+
+class _ExplodingJournal:
+    """A journal whose append path always fails."""
+
+    def __init__(self):
+        self.closed = False
+
+    def record_period(self, store, tick):
+        raise OSError(28, "No space left on device")
+
+    def close(self, store=None):
+        self.closed = True
+
+
+class TestEngineContainment:
+    def test_journal_failure_never_reaches_the_driver(self):
+        engine = CollectionEngine(SampleStore(), [],
+                                  journal=_ExplodingJournal())
+        engine.commit(1.0, [])  # must not raise
+        assert engine.store.ledger.total_events == 1
+
+    def test_journal_disabled_after_three_failures(self):
+        engine = CollectionEngine(SampleStore(), [],
+                                  journal=_ExplodingJournal())
+        for t in (1.0, 2.0, 3.0):
+            engine.commit(t, [])
+        assert engine.journal is None
+        assert "Journal" in engine.store.ledger.disabled
+        # further commits are memory-only, no new journal events
+        before = engine.store.ledger.total_events
+        engine.commit(4.0, [])
+        assert engine.store.ledger.total_events == before
+
+    def test_store_still_commits_when_journal_fails(self):
+        engine = CollectionEngine(SampleStore(), [],
+                                  journal=_ExplodingJournal())
+        engine.commit(7.0, [])
+        assert engine.store.prev_tick == 7.0

@@ -115,3 +115,58 @@ class TestGpuMemoryPressure:
     def test_not_flagged_at_normal_usage(self):
         step = run_miniqmc(GPU_CMD, blocks=4, offload=True)
         assert not analyze(step.monitors[0]).by_code("gpu-memory-pressure")
+
+
+class TestAtomicWrite:
+    """A crash mid-archive must leave the old file or none — never half."""
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        target = tmp_path / "job.npz"
+        write_archive(step.monitors, target)
+        assert target.exists()
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "job.npz"]
+        assert leftovers == []
+
+    def test_extensionless_path_matches_numpy_convention(self, tmp_path):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        write_archive(step.monitors, tmp_path / "job")
+        # numpy appends .npz to plain paths; the atomic path must too
+        assert (tmp_path / "job.npz").exists()
+        assert len(read_archive(tmp_path / "job.npz").ranks) == 8
+
+    def test_overwrite_replaces_previous_archive(self, tmp_path):
+        step = run_miniqmc(T3_CMD, blocks=2)
+        target = tmp_path / "job.npz"
+        write_archive(step.monitors, target)
+        first = target.read_bytes()
+        write_archive(step.monitors[:1], target)
+        assert target.read_bytes() != first
+        assert len(read_archive(target).ranks) == 1
+
+
+class TestStoreArchive:
+    """write_store_archive: the recovered-run / live-run export path."""
+
+    def test_recovered_run_round_trips(self, tmp_path):
+        from repro.collect.journal import recover_journal
+        from repro.core.archive import write_store_archive
+
+        step = run_miniqmc(
+            "OMP_NUM_THREADS=7 srun -n1 -c7 miniqmc",
+            blocks=4,
+            zs_config=ZeroSumConfig(
+                journal_path=str(tmp_path / "r.zsj"), journal_fsync=False
+            ),
+        )
+        monitor = step.monitors[0]
+        recovered = recover_journal(tmp_path / "r.zsj")
+        write_store_archive(recovered, tmp_path / "rec.npz")
+        data = read_archive(tmp_path / "rec.npz")
+        series = data.rank(0)
+        assert series.duration_seconds == pytest.approx(
+            recovered.duration_seconds
+        )
+        for tid, buf in monitor.lwp_series.items():
+            np.testing.assert_array_equal(series.lwp[tid], buf.array)
+        assert series.mem is not None

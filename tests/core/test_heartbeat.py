@@ -86,3 +86,50 @@ class TestDeadlockDetectionEndToEnd:
         )
         assert not step.monitors[0].deadlock_suspected()
         assert build_report(step.monitors[0]).deadlock_note == ""
+
+
+class TestHeartbeatLine:
+    def test_last_sample_age_rendered(self):
+        from repro.core.heartbeat import heartbeat_line
+
+        line = heartbeat_line(
+            seconds=12.0, pid=7, threads=3, last_sample_age_s=0.24
+        )
+        assert "last_sample_age=0.2s" in line
+
+    def test_age_omitted_when_unknown(self):
+        from repro.core.heartbeat import heartbeat_line
+
+        line = heartbeat_line(seconds=12.0, pid=7, threads=3)
+        assert "last_sample_age" not in line
+
+
+class TestHeartbeatWriter:
+    def test_lines_land_on_disk_without_close(self, tmp_path):
+        from repro.core.heartbeat import HeartbeatWriter
+
+        writer = HeartbeatWriter(tmp_path / "hb.log")
+        writer.write("[zerosum] t=0.1s pid=1 viable, 2 threads")
+        writer.write("[zerosum] t=0.2s pid=1 viable, 2 threads")
+        # flushed per line: readable while the writer is still open
+        lines = (tmp_path / "hb.log").read_text().splitlines()
+        assert len(lines) == 2
+        writer.close()
+
+    def test_fsync_mode_and_flush(self, tmp_path):
+        from repro.core.heartbeat import HeartbeatWriter
+
+        writer = HeartbeatWriter(tmp_path / "hb.log", fsync=True)
+        writer.write("line one")
+        writer.flush()  # the last-gasp path: flush + fsync, no close
+        assert "line one" in (tmp_path / "hb.log").read_text()
+        writer.close()
+        writer.close()  # idempotent
+
+    def test_write_after_close_raises(self, tmp_path):
+        from repro.core.heartbeat import HeartbeatWriter
+
+        writer = HeartbeatWriter(tmp_path / "hb.log")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write("too late")

@@ -1,0 +1,137 @@
+"""Last-gasp flush + post-mortem recovery, staged on real child processes.
+
+These are the integration tests the journal exists for: a monitored
+child is killed — politely (SIGTERM, handlers run) and rudely
+(SIGKILL, nothing runs) — and ``recover_journal`` must rebuild a
+complete report from whatever reached the disk.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.collect.journal import read_journal, recover_journal
+
+needs_proc = pytest.mark.skipif(
+    not pathlib.Path("/proc/self/stat").exists(), reason="needs Linux /proc"
+)
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+CHILD = """
+import sys, time
+from repro.core import ZeroSumConfig
+from repro.live import LiveZeroSum
+
+monitor = LiveZeroSum(ZeroSumConfig(
+    period_seconds=0.05,
+    journal_path=sys.argv[1],
+    journal_checkpoint_every=int(sys.argv[3]),
+    journal_fsync=False,
+    heartbeat_path=sys.argv[2],
+    heartbeat_every=1,
+))
+monitor.start()
+print("started", flush=True)
+x = 0
+deadline = time.time() + 60.0
+while time.time() < deadline:
+    x += sum(i * i for i in range(2000))
+"""
+
+REPORT_SECTIONS = (
+    "Duration of execution",
+    "Process Summary:",
+    "LWP (thread) Summary:",
+    "Hardware Summary:",
+)
+
+
+def spawn_child(tmp_path, run_for=1.2, checkpoint_every=5):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    journal = tmp_path / "run.zsj"
+    heartbeat = tmp_path / "heartbeat.log"
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(journal), str(heartbeat),
+         str(checkpoint_every)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert "started" in child.stdout.readline()
+    time.sleep(run_for)  # let checkpoints and deltas land
+    return child, journal, heartbeat
+
+
+@needs_proc
+class TestKillMinusNine:
+    def test_sigkilled_run_recovers(self, tmp_path):
+        child, journal, heartbeat = spawn_child(tmp_path)
+        child.kill()
+        assert child.wait(timeout=30) == -signal.SIGKILL
+        recovered = recover_journal(journal)
+        rendered = recovered.report().render()
+        for section in REPORT_SECTIONS:
+            assert section in rendered
+        assert recovered.pid == child.pid
+        # the child burned CPU for over a second of 0.05s periods
+        assert recovered.store.samples_taken >= 5
+        assert recovered.classify(child.pid) == "Main"
+
+    def test_heartbeat_carries_sample_age(self, tmp_path):
+        child, journal, heartbeat = spawn_child(tmp_path)
+        child.kill()
+        child.wait(timeout=30)
+        lines = heartbeat.read_text().splitlines()
+        assert lines
+        assert all("last_sample_age=" in line for line in lines)
+
+
+@needs_proc
+class TestSigterm:
+    def test_last_gasp_writes_a_durable_note(self, tmp_path):
+        child, journal, heartbeat = spawn_child(tmp_path)
+        child.terminate()
+        # the handler flushes, then chains to the default disposition
+        assert child.wait(timeout=30) == -signal.SIGTERM
+        records, torn = read_journal(journal)
+        notes = [r for r in records if r.get("kind") == "note"]
+        assert any("signal" in n.get("reason", "") for n in notes)
+        recovered = recover_journal(journal)
+        assert any(
+            e.collector == "LastGasp" and "signal" in e.reason
+            for e in recovered.store.ledger.events
+        )
+        for section in REPORT_SECTIONS:
+            assert section in recovered.report().render()
+
+
+@needs_proc
+class TestTornTail:
+    def test_truncated_final_record_is_skipped_not_fatal(self, tmp_path):
+        # no mid-run compaction: the journal tail is guaranteed to be a
+        # period delta, so chopping it mimics a tear without touching
+        # the snapshot
+        child, journal, heartbeat = spawn_child(tmp_path,
+                                                checkpoint_every=10_000)
+        child.kill()
+        child.wait(timeout=30)
+        # simulate the tear kill -9 can leave: chop the last record short
+        whole = journal.read_bytes()
+        body = whole.rstrip(b"\n")
+        last = body.rsplit(b"\n", 1)[-1]
+        journal.write_bytes(body[: len(body) - len(last) // 2])
+        recovered = recover_journal(journal)
+        assert recovered.torn_records == 1
+        assert any(
+            "torn trailing record" in e.reason
+            for e in recovered.store.ledger.events
+        )
+        for section in REPORT_SECTIONS:
+            assert section in recovered.report().render()

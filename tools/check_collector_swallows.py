@@ -7,6 +7,12 @@ just ``pass`` or ``continue`` — with no ``ledger`` call — is exactly
 the bug that let parser errors masquerade as exited threads, so this
 scan keeps them out of the sampling path for good.
 
+The durability work (journal, last-gasp signal handlers, watchdog)
+adds a second rule: a bare ``except:`` is banned outright in the
+sampling and durability path.  It catches ``KeyboardInterrupt`` and
+``SystemExit``, which on the last-gasp path means eating the very
+signal the handler exists to flush for.  Name the exceptions.
+
 Grep-grade on purpose: no imports of the package under test, no AST
 surprises on syntax errors, runnable on any Python.
 """
@@ -21,6 +27,7 @@ from pathlib import Path
 SCAN_DIRS = ("src/repro/collect", "src/repro/live")
 
 _EXCEPT_RE = re.compile(r"^(\s*)except\b.*:\s*(#.*)?$")
+_BARE_EXCEPT_RE = re.compile(r"^\s*except\s*:\s*(#.*)?$")
 _SWALLOW_RE = re.compile(r"^\s*(pass|continue)\s*(#.*)?$")
 
 
@@ -31,6 +38,12 @@ def find_swallows(path: Path) -> list[tuple[int, str]]:
     for i, line in enumerate(lines):
         m = _EXCEPT_RE.match(line)
         if not m:
+            continue
+        if _BARE_EXCEPT_RE.match(line):
+            # bare except: forbidden no matter what the body does —
+            # it catches KeyboardInterrupt/SystemExit, which the
+            # signal-handler and journal write paths must never eat
+            bad.append((i + 1, line.strip() + "  [bare except]"))
             continue
         indent = len(m.group(1))
         body: list[str] = []

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI smoke test: ``kill -9`` a journaled live run, then recover it.
+
+The whole point of the spill journal is surviving exactly the failure
+no in-process test can stage honestly: SIGKILL, which runs no
+handlers, no atexit, nothing.  This script spawns a busy child that
+monitors itself with ``LiveZeroSum`` (journal + heartbeat on), lets it
+commit a handful of periods, kills it with ``-9``, and asserts that
+``python -m repro.cli recover`` rebuilds a complete utilization
+report from what hit the disk.
+
+Exit status 0 = recovered report looks right; anything else fails CI.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+CHILD_SOURCE = """
+import sys, time
+from repro.core import ZeroSumConfig
+from repro.live import LiveZeroSum
+
+monitor = LiveZeroSum(ZeroSumConfig(
+    period_seconds=0.05,
+    journal_path=sys.argv[1],
+    journal_checkpoint_every=5,
+    journal_fsync=False,
+    heartbeat_path=sys.argv[2],
+    heartbeat_every=1,
+))
+monitor.start()
+print("started", flush=True)
+x = 0
+deadline = time.time() + 60.0
+while time.time() < deadline:
+    x += sum(i * i for i in range(2000))
+"""
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "run.zsj")
+        heartbeat = os.path.join(tmp, "heartbeat.log")
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SOURCE, journal, heartbeat],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = child.stdout.readline()
+            if "started" not in line:
+                print(f"child never started (got {line!r})", file=sys.stderr)
+                return 1
+            time.sleep(1.5)  # let a few checkpoints + deltas land
+        finally:
+            child.kill()  # SIGKILL: no handlers, no atexit, no mercy
+            child.wait(timeout=30)
+        if child.returncode != -signal.SIGKILL:
+            print(
+                f"child exited {child.returncode}, expected "
+                f"-{int(signal.SIGKILL)}",
+                file=sys.stderr,
+            )
+            return 1
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "recover", journal],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        print(result.stdout)
+        print(result.stderr, file=sys.stderr)
+        if result.returncode != 0:
+            print("recover exited non-zero", file=sys.stderr)
+            return 1
+        for needle in (
+            "Duration of execution",
+            "Process Summary:",
+            "LWP (thread) Summary:",
+            "Hardware Summary:",
+        ):
+            if needle not in result.stdout:
+                print(f"recovered report missing {needle!r}", file=sys.stderr)
+                return 1
+
+        hb = Path(heartbeat).read_text()
+        if "last_sample_age=" not in hb:
+            print("heartbeat file missing last_sample_age field",
+                  file=sys.stderr)
+            return 1
+
+    print("crash-recovery smoke: kill -9'd run recovered cleanly.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

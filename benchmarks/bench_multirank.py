@@ -1,0 +1,112 @@
+"""Sharded-launcher scaling guard: serial vs 2 and 4 kernel workers.
+
+Not a paper artefact — the regression guard for the sharded launcher.
+One 64-rank PIC job (the Figure 5 workload shape) over four 16-core
+nodes is run three ways: serially, with 2 kernel workers, and with 4.
+The guard asserts two things:
+
+* **correctness** — the merged sharded results are bit-identical to
+  the serial run: every rank's report render, and the P2P bytes and
+  message matrices (the job is point-to-point only, the regime the
+  sharded launcher guarantees exact timing for);
+* **speed** — with 4 workers the end-to-end wall time (launch + epoch
+  loop + marshalling + report access) is at least ``SPEEDUP_FLOOR``×
+  the serial time.  The floor is only enforced when the host actually
+  has 4 cores to run the workers on; the measured numbers are always
+  recorded in ``BENCH_multirank.json``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from common import banner, record_result
+from repro.apps import PicConfig, pic_app
+from repro.core import ZeroSumConfig, zerosum_mpi
+from repro.launch import ShardedJobStep, SrunOptions, launch_job
+from repro.mpi import Fabric
+from repro.topology import generic_node
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_multirank.json"
+
+WORLD = 64
+NODES = 4
+#: wall-clock floor for the 4-worker run, enforced with >= 4 host cores
+SPEEDUP_FLOOR = 2.0
+
+#: point-to-point only (reduce_every=0): the bit-identical regime.
+#: Sized so the epoch loop dominates fork + import fixed costs.
+PIC = PicConfig(steps=150, shift_distance=8, reduce_every=0,
+                step_jiffies=100.0)
+
+
+def _run(workers: int) -> tuple[float, list[str], object]:
+    """One end-to-end run; returns (seconds, rank renders, matrix)."""
+    machines = [generic_node(cores=16, name=f"node{i:02d}") for i in range(NODES)]
+    start = time.perf_counter()
+    step = launch_job(
+        machines,
+        SrunOptions(ntasks=WORLD, command="pic"),
+        pic_app(PIC),
+        monitor_factory=zerosum_mpi(
+            ZeroSumConfig(collect_hwt=False, collect_gpu=False)
+        ),
+        # a long lookahead keeps epochs long and barriers cheap
+        fabric=Fabric(remote_latency=128),
+        workers=workers,
+    )
+    if workers > 1:
+        assert isinstance(step, ShardedJobStep)
+    step.run(max_ticks=5_000_000)
+    step.finalize()
+    renders = [step.report(rank).render() for rank in range(WORLD)]
+    matrix = step.comm_matrix()
+    seconds = time.perf_counter() - start
+    if workers > 1:
+        assert step.degradations == []
+    return seconds, renders, matrix
+
+
+def test_multirank_scaling():
+    import numpy as np
+
+    cores = os.cpu_count() or 1
+    serial_s, serial_renders, serial_matrix = _run(workers=1)
+    results = {"serial": serial_s}
+    for workers in (2, 4):
+        seconds, renders, matrix = _run(workers=workers)
+        assert renders == serial_renders, (
+            f"{workers}-worker rank reports diverged from serial"
+        )
+        assert np.array_equal(matrix.bytes, serial_matrix.bytes)
+        assert np.array_equal(matrix.messages, serial_matrix.messages)
+        results[f"workers{workers}"] = seconds
+
+    speedup2 = serial_s / results["workers2"]
+    speedup4 = serial_s / results["workers4"]
+    banner(
+        f"Sharded launcher scaling ({WORLD} ranks, {NODES} nodes, "
+        f"{cores} host cores)",
+        "sharded-launcher regression guard, not a paper artefact",
+    )
+    print(f"serial     {serial_s:7.2f} s")
+    print(f"2 workers  {results['workers2']:7.2f} s  ({speedup2:4.2f}x)")
+    print(f"4 workers  {results['workers4']:7.2f} s  ({speedup4:4.2f}x)")
+    print("merged reports and P2P matrix bit-identical to serial: yes")
+
+    enforced = cores >= 4
+    record_result(RESULTS_PATH, "pic_64rank_4node", {
+        "host_cores": cores,
+        "serial_seconds": round(serial_s, 3),
+        "workers2_seconds": round(results["workers2"], 3),
+        "workers4_seconds": round(results["workers4"], 3),
+        "speedup_2workers": round(speedup2, 3),
+        "speedup_4workers": round(speedup4, 3),
+        "floor_speedup_4workers": SPEEDUP_FLOOR if enforced else None,
+        "bit_identical": True,
+    })
+    if enforced:
+        assert speedup4 >= SPEEDUP_FLOOR, (
+            f"4-worker speedup {speedup4:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor on a {cores}-core host"
+        )

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-from bench_simulator_throughput import record_result
+from common import record_result
 from common import banner
 from repro.collect import HwtCollector, LwpCollector, SampleStore
 from repro.kernel import Compute, SimKernel, Sleep

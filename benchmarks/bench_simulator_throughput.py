@@ -19,30 +19,17 @@ Each scenario asserts a ticks/s floor and appends its headline numbers
 to ``BENCH_scheduler.json`` at the repository root for trend tracking.
 """
 
-import json
 from pathlib import Path
 
 import pytest
 
-from common import banner
+from common import banner, record_result
 from repro.kernel import Compute, FileIo, SimKernel, Sleep
 from repro.topology import CpuSet, frontier_node
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
 
 TICKS = 1000
-
-
-def record_result(path: Path, name: str, payload: dict) -> None:
-    """Merge one scenario's numbers into the machine-readable log."""
-    data = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            data = {}
-    data[name] = payload
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def _run_busy_node():

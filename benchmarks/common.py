@@ -10,6 +10,9 @@ benchmark JSON.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.apps import MiniQmcConfig, miniqmc_app
 from repro.core import ZeroSumConfig, zerosum_mpi
 from repro.launch import SrunOptions, launch_job
@@ -60,6 +63,18 @@ def run_config(
     step.run(max_ticks=5_000_000)
     step.finalize()
     return step
+
+
+def record_result(path: Path, name: str, payload: dict) -> None:
+    """Merge one scenario's numbers into a machine-readable BENCH log."""
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[name] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def banner(title: str, paper: str) -> None:

@@ -18,7 +18,14 @@ from repro.core.monitor import ZeroSum
 from repro.core.reports import UtilizationReport, build_report
 from repro.errors import MonitorError
 
-__all__ = ["RankSummary", "NodeSummary", "ClusterView", "build_cluster_view"]
+__all__ = [
+    "RankSummary",
+    "NodeSummary",
+    "ClusterView",
+    "build_cluster_view",
+    "assemble_cluster_view",
+    "rank_summary",
+]
 
 _BAR = "█"
 
@@ -120,7 +127,7 @@ class ClusterView:
         return "\n".join(lines) + "\n"
 
 
-def _rank_summary(monitor: ZeroSum, report: UtilizationReport) -> RankSummary:
+def rank_summary(monitor: ZeroSum, report: UtilizationReport) -> RankSummary:
     # normalize by the *job* window, not each thread's own observation
     # window, so ranks that finish early correctly read as less busy —
     # that asymmetry is what the imbalance metric measures
@@ -162,33 +169,61 @@ def _rank_summary(monitor: ZeroSum, report: UtilizationReport) -> RankSummary:
     )
 
 
-def build_cluster_view(monitors: list[ZeroSum]) -> ClusterView:
-    """Merge all ranks' monitors into the allocation-wide view."""
-    if not monitors:
+_rank_summary = rank_summary  # historical (pre-sharding) name
+
+
+def assemble_cluster_view(
+    summaries: list[RankSummary], node_mem_used: dict[str, float]
+) -> ClusterView:
+    """Assemble the allocation view from already-computed rank rollups.
+
+    ``node_mem_used`` maps hostname → used-memory fraction at the end
+    of the run.  This is the merge half of :func:`build_cluster_view`,
+    shared with the sharded launcher, whose workers marshal
+    :class:`RankSummary` rows across process boundaries instead of
+    live monitors.
+    """
+    if not summaries:
         raise MonitorError("no monitors to aggregate")
     view = ClusterView()
-    per_node: dict[str, list[tuple[RankSummary, ZeroSum]]] = {}
-    for monitor in monitors:
-        report = build_report(monitor)
-        summary = _rank_summary(monitor, report)
+    per_node: dict[str, list[RankSummary]] = {}
+    for summary in summaries:
         view.ranks.append(summary)
-        per_node.setdefault(summary.hostname, []).append((summary, monitor))
+        per_node.setdefault(summary.hostname, []).append(summary)
     view.ranks.sort(key=lambda r: r.rank)
 
-    for hostname, entries in sorted(per_node.items()):
-        summaries = [s for s, _ in entries]
-        monitor = entries[0][1]
-        mem = monitor.process.node.memory
-        mem_used = 1.0 - (mem.available_bytes / mem.total_bytes)
-        gpu_vals = [s.gpu_busy_pct for s in summaries if s.gpu_busy_pct >= 0]
+    for hostname, node_summaries in sorted(per_node.items()):
+        gpu_vals = [s.gpu_busy_pct for s in node_summaries if s.gpu_busy_pct >= 0]
         view.nodes.append(
             NodeSummary(
                 hostname=hostname,
-                ranks=len(summaries),
-                threads=sum(s.threads for s in summaries),
-                mean_busy_pct=float(np.mean([s.busy_pct for s in summaries])),
-                mem_used_frac=float(mem_used),
+                ranks=len(node_summaries),
+                threads=sum(s.threads for s in node_summaries),
+                mean_busy_pct=float(
+                    np.mean([s.busy_pct for s in node_summaries])
+                ),
+                mem_used_frac=float(node_mem_used.get(hostname, 0.0)),
                 gpu_busy_pct=float(np.mean(gpu_vals)) if gpu_vals else -1.0,
             )
         )
     return view
+
+
+def node_mem_used_frac(monitor: ZeroSum) -> float:
+    """Used-memory fraction of the node a monitor's process lives on."""
+    mem = monitor.process.node.memory
+    return 1.0 - (mem.available_bytes / mem.total_bytes)
+
+
+def build_cluster_view(monitors: list[ZeroSum]) -> ClusterView:
+    """Merge all ranks' monitors into the allocation-wide view."""
+    if not monitors:
+        raise MonitorError("no monitors to aggregate")
+    summaries = []
+    node_mem: dict[str, float] = {}
+    for monitor in monitors:
+        report = build_report(monitor)
+        summary = rank_summary(monitor, report)
+        summaries.append(summary)
+        node_mem.setdefault(summary.hostname, node_mem_used_frac(monitor))
+    return assemble_cluster_view(summaries, node_mem)

@@ -22,14 +22,7 @@ import time
 
 from repro.analysis import build_cluster_view
 from repro.apps import MiniQmcConfig, PicConfig, miniqmc_app, pic_app
-from repro.core import (
-    ZeroSumConfig,
-    advise,
-    analyze,
-    build_report,
-    merge_monitors,
-    zerosum_mpi,
-)
+from repro.core import ZeroSumConfig, zerosum_mpi
 from repro.launch import SrunOptions, launch_job
 from repro.topology import MACHINE_FACTORIES, frontier_node, render_lstopo
 
@@ -58,27 +51,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     )
     factory = MACHINE_FACTORIES[args.machine]
+    machines = [
+        factory(name=f"{args.machine}{i:05d}") for i in range(args.nodes)
+    ]
     step = launch_job(
-        [factory()],
+        machines,
         opts,
         app,
         monitor_factory=zerosum_mpi(ZeroSumConfig()),
+        workers=args.workers,
     )
     t0 = time.time()
     step.run()
     step.finalize()
-    monitor = step.monitors[0]
-    print(build_report(monitor).render())
-    print(analyze(monitor).render())
-    print(advise(monitor, opts).render())
+    # the accessor surface is shared by the serial and sharded steps
+    print(step.report(0).render())
+    print(step.findings(0).render())
+    print(step.advice(0).render())
     if args.top:
-        print(build_cluster_view(step.monitors).render())
+        if step.monitors:
+            print(build_cluster_view(step.monitors).render())
+        else:  # sharded: summaries were marshalled out of the workers
+            print(step.cluster_view().render())
     print(f"(simulated {step.duration_seconds:.2f} s "
           f"in {time.time() - t0:.2f} s of wall time)")
     return 0
 
 
 def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from repro.mpi import Fabric
+
     nodes_needed = max(1, (args.ranks + 55) // 56)
     nodes = [frontier_node(name=f"frontier{i:05d}") for i in range(nodes_needed)]
     opts = SrunOptions(ntasks=args.ranks, cpus_per_task=1, command="pic")
@@ -89,10 +91,14 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
         monitor_factory=zerosum_mpi(
             ZeroSumConfig(collect_hwt=False, collect_gpu=False)
         ),
+        # byte totals are latency-invariant; a longer lookahead keeps
+        # sharded epochs (--workers) long and barriers cheap
+        fabric=Fabric(remote_latency=8),
+        workers=args.workers,
     )
     step.run()
     step.finalize()
-    matrix = merge_monitors(step.monitors)
+    matrix = step.comm_matrix()
     print(matrix.render(bins=min(64, args.ranks)))
     print(f"diagonal dominance (band 1): "
           f"{matrix.diagonal_dominance(1) * 100:.1f} %")
@@ -168,11 +174,19 @@ def main(argv: list[str] | None = None) -> int:
                    help="print the allocation-wide htop-style view")
     p.add_argument("--machine", choices=sorted(MACHINE_FACTORIES),
                    default="frontier")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="number of simulated nodes (default 1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="kernel worker processes for multi-node jobs "
+                        "(1 = serial; see repro.launch.sharded)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("heatmap", help="PIC proxy communication heatmap")
     p.add_argument("--ranks", type=int, default=64)
     p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--workers", type=int, default=1,
+                   help="kernel worker processes for multi-node jobs "
+                        "(1 = serial; see repro.launch.sharded)")
     p.set_defaults(fn=_cmd_heatmap)
 
     p = sub.add_parser("live", help="monitor this process via real /proc")

@@ -13,10 +13,16 @@ so this module spools that state to disk as the run progresses:
 * between checkpoints, each committed sampling period appends one
   **period** record carrying only that period's new series rows (full
   replacements for summary-mode stores and wrapped rings) plus the
-  small per-period state, flushed so it survives the process dying;
+  small per-period state, written so it survives the process dying;
 * **note** records are out-of-band diagnostics (last-gasp signal
   flushes, watchdog stall reports) that touch no store state and are
   fsynced immediately.
+
+The journal handle is unbuffered: every entry point coalesces all of
+its framed records into **one** ``write(2)`` (and at most one
+``fsync``), so a period's deltas either all reach the kernel or none
+do — the sampler never pays more than one syscall per period, and a
+crash cannot land between the lines of a single append.
 
 Every record is one line, framed ``ZSJ1 <len> <crc32> <json>``; a torn
 trailing record — the half-written line a ``kill -9`` leaves behind —
@@ -196,12 +202,12 @@ class JournalWriter:
     ``checkpoint_every`` periods, the whole journal is rewritten as a
     single snapshot via temp-file + fsync + atomic rename — bounding
     its size and guaranteeing a crash never leaves it half-written.
-    Appends between checkpoints are flushed per record (surviving a
-    ``kill -9``); ``fsync=True`` additionally fsyncs every checkpoint
-    and every :meth:`sync` (surviving power loss).  All entry points
-    take one lock, so a driver's last-gasp :meth:`sync` or
-    :meth:`note` may race the sampler thread's :meth:`record_period`
-    safely.
+    Appends between checkpoints are coalesced into one unbuffered
+    ``write()`` per period (in the kernel, surviving a ``kill -9``);
+    ``fsync=True`` additionally fsyncs every checkpoint and every
+    :meth:`sync` (surviving power loss).  All entry points take one
+    lock, so a driver's last-gasp :meth:`sync` or :meth:`note` may
+    race the sampler thread's :meth:`record_period` safely.
 
     ``classify`` (optional) stamps each record with the driver's
     thread-kind labels so the recovered report reproduces them.
@@ -230,6 +236,7 @@ class JournalWriter:
         #: lifetime statistics, for heartbeats and tests
         self.periods_recorded = 0
         self.checkpoints_written = 0
+        self.appends_written = 0  # coalesced write() calls issued
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -261,11 +268,14 @@ class JournalWriter:
         with self._lock:
             self._require_open()
             self._meta.update(fields)
-            self._file.write(_frame({"kind": "meta", **fields}))
-            self._file.flush()
+            self._emit(_frame({"kind": "meta", **fields}))
 
     def record_period(self, store: SampleStore, tick: float) -> None:
-        """Journal one committed period; every Nth becomes a checkpoint."""
+        """Journal one committed period; every Nth becomes a checkpoint.
+
+        All of the period's delta records reach the kernel in a single
+        ``write()`` — see :meth:`_emit`.
+        """
         with self._lock:
             self._require_open()
             self._seq += 1
@@ -273,8 +283,7 @@ class JournalWriter:
             if self._seq % self.checkpoint_every == 0:
                 self._checkpoint_locked(store, tick=tick)
                 return
-            self._file.write(_frame(self._period_record(store, tick)))
-            self._file.flush()
+            self._emit(_frame(self._period_record(store, tick)))
 
     def note(self, tick: float, collector: str, reason: str) -> None:
         """Durable out-of-band diagnostic; touches no store state.
@@ -285,7 +294,7 @@ class JournalWriter:
         """
         with self._lock:
             self._require_open()
-            self._file.write(
+            self._emit(
                 _frame(
                     {
                         "kind": "note",
@@ -293,9 +302,9 @@ class JournalWriter:
                         "collector": collector,
                         "reason": reason,
                     }
-                )
+                ),
+                sync=True,
             )
-            self._sync_locked(force=True)
 
     def sync(self) -> None:
         """Flush + fsync everything appended so far (the last-gasp path)."""
@@ -314,8 +323,20 @@ class JournalWriter:
         if self._file is None:
             raise JournalError(f"journal {self.path} is not open")
 
+    def _emit(self, *frames: bytes, sync: bool = False) -> None:
+        """Append framed records as one coalesced ``write()``.
+
+        The journal handle is unbuffered (``buffering=0``), so the
+        joined buffer hits the kernel in a single syscall: the append
+        is all-or-nothing at line granularity with no userspace buffer
+        tail left to tear, and costs at most one ``fsync`` on top.
+        """
+        self._file.write(b"".join(frames))
+        self.appends_written += 1
+        if sync:
+            os.fsync(self._file.fileno())
+
     def _sync_locked(self, force: bool = False) -> None:
-        self._file.flush()
         if self.fsync or force:
             os.fsync(self._file.fileno())
 
@@ -324,8 +345,11 @@ class JournalWriter:
     ) -> None:
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "wb") as handle:
-            handle.write(_frame({"kind": "meta", **self._meta}))
-            handle.write(_frame(self._snapshot_record(store, tick)))
+            # meta + snapshot coalesced: one write, at most one fsync
+            handle.write(
+                _frame({"kind": "meta", **self._meta})
+                + _frame(self._snapshot_record(store, tick))
+            )
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
@@ -336,7 +360,7 @@ class JournalWriter:
             os.close(dirfd)
         if self._file is not None:
             self._file.close()
-        self._file = open(self.path, "ab")
+        self._file = open(self.path, "ab", buffering=0)
         # the snapshot carries everything: reset every delta cursor
         self._cursors = {
             (family, key): series.appended

@@ -181,6 +181,15 @@ class SimKernel:
         self._place_new(lwp, parent=parent or process.main_thread)
         return lwp
 
+    def set_next_pid(self, pid: int) -> None:
+        """Reposition the PID/TID counter.
+
+        The sharded launcher uses this to replay the serial launcher's
+        global PID layout inside each shard, so per-rank reports carry
+        the same PIDs regardless of how the job was partitioned.
+        """
+        self._pid_counter = itertools.count(pid)
+
     def _register_lwp(self, lwp: LWP) -> None:
         """Start counting this LWP's liveness and runnability."""
         lwp._state_watcher = self
@@ -797,6 +806,7 @@ class SimKernel:
         max_ticks: int = 10_000_000,
         until: Optional[Callable[["SimKernel"], bool]] = None,
         raise_on_stall: bool = True,
+        until_tick: Optional[int] = None,
     ) -> int:
         """Run until all non-daemon work finished (or ``until`` fires).
 
@@ -804,6 +814,14 @@ class SimKernel:
         :class:`~repro.errors.DeadlockError` on a true stall unless
         ``raise_on_stall`` is false (the heartbeat experiments disable
         it and let the ZeroSum monitor make the diagnosis).
+
+        ``until_tick`` bounds the run at an absolute clock tick — the
+        epoch boundary of the sharded launcher.  A kernel that stalls
+        with an ``until_tick`` pending is *not* deadlocked: it may be
+        waiting for a message another shard will hand over at the
+        barrier, so the clock is idled forward to the boundary instead
+        of raising (idling a stalled kernel is bit-identical to
+        stepping it — nothing local can fire).
 
         When :attr:`fast_forward` is set (the default) and the run has
         no per-tick ``until`` predicate or ``on_tick`` observers, fully
@@ -814,13 +832,21 @@ class SimKernel:
         determinism suite).
         """
         start = self.clock.tick
+        cap = start + max_ticks
+        if until_tick is not None:
+            cap = min(cap, until_tick)
         may_jump = self.fast_forward and until is None
-        while self.clock.tick - start < max_ticks:
+        while self.clock.tick < cap:
             if not self.alive_work():
                 break
             if until is not None and until(self):
                 break
             if self.stalled():
+                if until_tick is not None and self._quiescent():
+                    # cross-shard wait: park at the epoch boundary
+                    if cap > self.clock.tick:
+                        self._fast_forward_to(cap)
+                    break
                 if raise_on_stall:
                     blocked = [l.tid for l in self.lwps.values()
                                if l.alive and l.blocked and not l.daemon]
@@ -832,7 +858,7 @@ class SimKernel:
             if may_jump and not self.on_tick and self._quiescent():
                 target = self._next_event_tick()
                 if target is not None and target > self.clock.tick:
-                    self._fast_forward_to(min(target, start + max_ticks))
+                    self._fast_forward_to(min(target, cap))
                     continue
             self.step()
         return self.clock.tick - start

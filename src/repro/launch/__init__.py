@@ -2,6 +2,13 @@
 
 from repro.launch.job import AppFactory, JobStep, RankContext, launch_job
 from repro.launch.options import SrunOptions
+from repro.launch.sharded import (
+    RankResult,
+    ShardedJobStep,
+    ShardPlan,
+    launch_sharded,
+    plan_shards,
+)
 from repro.launch.slurm import TaskAssignment, assign_tasks
 
 __all__ = [
@@ -12,4 +19,9 @@ __all__ = [
     "JobStep",
     "AppFactory",
     "launch_job",
+    "ShardPlan",
+    "RankResult",
+    "ShardedJobStep",
+    "plan_shards",
+    "launch_sharded",
 ]

@@ -149,11 +149,37 @@ def launch_job(
     fabric: Optional[Fabric] = None,
     timeslice: int = 3,
     smt_efficiency: float = 1.0,
+    workers: int = 1,
+    epoch_ticks: Optional[int] = None,
 ) -> JobStep:
-    """Build the simulated world for one job step (does not run it)."""
+    """Build the simulated world for one job step (does not run it).
+
+    ``workers > 1`` shards a multi-node job across a pool of kernel
+    worker processes (see :mod:`repro.launch.sharded`) and returns a
+    :class:`~repro.launch.sharded.ShardedJobStep` with the same
+    run/report surface.  Jobs that occupy a single node always take
+    the serial path, whatever ``workers`` says.
+    """
     if isinstance(machines, Machine):
         machines = [machines]
     assignments = assign_tasks(machines, options)
+    if workers > 1 and use_mpi and len(machines) > 1:
+        from repro.launch.sharded import launch_sharded, plan_shards
+
+        if len(plan_shards(assignments, len(machines), workers)) >= 2:
+            return launch_sharded(  # type: ignore[return-value]
+                machines,
+                options,
+                app,
+                workers=workers,
+                use_mpi=use_mpi,
+                helper_thread=helper_thread,
+                monitor_factory=monitor_factory,
+                fabric=fabric,
+                timeslice=timeslice,
+                smt_efficiency=smt_efficiency,
+                epoch_ticks=epoch_ticks,
+            )
     kernel = SimKernel(machines, timeslice=timeslice,
                        smt_efficiency=smt_efficiency)
     mpi = MpiJob(kernel, fabric=fabric) if use_mpi else None

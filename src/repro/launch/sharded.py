@@ -1,0 +1,845 @@
+"""Sharded multi-node simulation: one kernel worker per node group.
+
+The serial launcher steps every node of a job inside one
+:class:`~repro.kernel.scheduler.SimKernel`, so multi-node experiments
+are bound by single-core throughput.  This module partitions the
+simulated cluster *by node* across a pool of forked workers — each
+worker owns a full sub-kernel (scheduler, LWPs, HWTs, GPUs, monitors)
+over its node group — and runs them bulk-synchronously in fixed tick
+**epochs**:
+
+1. every worker steps its kernel to the epoch boundary ``E_k``
+   (``SimKernel.run(until_tick=E_k)``);
+2. at the barrier, workers hand the orchestrator their buffered
+   cross-shard sends (:class:`~repro.mpi.fabric.RemoteEnvelope`),
+   their new collective contributions, and their completion state;
+3. the orchestrator sorts all envelopes by the serial kernel's global
+   injection order ``(sent_tick, src_node, program order)``, routes
+   them to the destination shards, and completes any collective every
+   world rank has now joined;
+4. workers re-inject the envelopes as arrival timers (their arrival
+   ticks are exact — see below) and run the next epoch.
+
+**Determinism.**  The epoch length is clamped to the fabric lookahead
+``int(remote_latency)``: a cross-node message sent at tick ``t`` of
+epoch *k* (``t >= S_k``) arrives no earlier than ``t + lookahead >=
+S_k + L = E_k``, so handing it over at the barrier never misses its
+arrival tick, and the sorted re-injection order matches the serial
+kernel's timer order.  Point-to-point traffic is therefore delivered
+at bit-identical ticks; per-rank PIDs are replayed via
+``SimKernel.set_next_pid``; each shard's nodes keep their *global*
+node indices.  Cross-shard **collectives** rendezvous through the
+orchestrator and complete at the first barrier after the last arrival
+— value-correct but epoch-quantized (serial-identical timing is only
+guaranteed for jobs whose cross-node traffic is point-to-point).
+Jittered fabrics draw latency noise from one shared RNG in global
+send order and cannot be sharded.
+
+**Crash containment.**  A worker that dies or hangs mid-epoch is
+classified with the PR-3 failure taxonomy and recorded on a
+:class:`~repro.collect.faults.DegradationLedger`; surviving shards are
+finalized at the current epoch and the job returns partial results
+instead of hanging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import DeadlockError, LaunchError
+from repro.kernel.clock import Clock
+from repro.kernel.lwp import ThreadRole
+from repro.kernel.scheduler import SimKernel
+from repro.launch.job import AppFactory, RankContext, _mpi_helper_behavior
+from repro.launch.options import SrunOptions
+from repro.launch.slurm import TaskAssignment
+from repro.mpi.comm import ShardMpiJob
+from repro.mpi.fabric import Fabric, RemoteEnvelope, ShardFabric
+from repro.openmp.runtime import OpenMPRuntime
+from repro.topology.objects import Machine
+
+__all__ = [
+    "ShardPlan",
+    "RankResult",
+    "ShardedJobStep",
+    "plan_shards",
+    "launch_sharded",
+]
+
+#: must match SimKernel's first_pid default — the serial PID layout
+#: every shard replays
+_FIRST_PID = 18300
+#: PID base for dynamic spawns after launch (per-shard disjoint ranges)
+_DYNAMIC_PID_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of the cluster."""
+
+    index: int
+    node_indices: tuple[int, ...]  # global node indices, ascending
+    ranks: tuple[int, ...]  # world ranks resident on those nodes
+
+
+@dataclass
+class RankResult:
+    """Everything one rank's monitor produced, marshalled picklably."""
+
+    rank: int
+    pid: int
+    hostname: str
+    report: object = None  # UtilizationReport
+    findings: object = None  # ContentionReport
+    advice: object = None  # Advice
+    summary: object = None  # RankSummary
+    store: object = None  # SampleStore
+    heartbeats: list = field(default_factory=list)
+    crash_reports: list = field(default_factory=list)
+
+
+def plan_shards(
+    assignments: list[TaskAssignment], n_nodes: int, workers: int
+) -> list[ShardPlan]:
+    """Partition nodes into contiguous groups balanced by rank count.
+
+    Contiguity keeps each group's nodes in serial walk order; balance
+    is greedy on the cumulative rank count.  Nodes that received no
+    ranks ride along with the current group.  Returns at most
+    ``min(workers, nodes-with-ranks)`` shards, each with >= 1 rank.
+    """
+    if workers < 1:
+        raise LaunchError("workers must be >= 1")
+    per_node: dict[int, list[int]] = {i: [] for i in range(n_nodes)}
+    for a in assignments:
+        per_node[a.node_index].append(a.rank)
+    loaded = sum(1 for ranks in per_node.values() if ranks)
+    shards = min(workers, max(1, loaded))
+    total = len(assignments)
+    plans: list[ShardPlan] = []
+    group_nodes: list[int] = []
+    group_ranks: list[int] = []
+    placed = 0
+    for node in range(n_nodes):
+        group_nodes.append(node)
+        group_ranks.extend(per_node[node])
+        placed += len(per_node[node])
+        remaining_shards = shards - len(plans)
+        # close the group once it reaches its proportional share, as
+        # long as enough loaded nodes remain for the rest
+        target = total * (len(plans) + 1) / shards
+        loaded_ahead = sum(
+            1 for n in range(node + 1, n_nodes) if per_node[n]
+        )
+        if (
+            group_ranks
+            and remaining_shards > 1
+            and placed >= target - 1e-9
+            and loaded_ahead >= remaining_shards - 1
+        ):
+            plans.append(
+                ShardPlan(len(plans), tuple(group_nodes), tuple(group_ranks))
+            )
+            group_nodes, group_ranks = [], []
+    if group_nodes:
+        if group_ranks or not plans:
+            plans.append(
+                ShardPlan(len(plans), tuple(group_nodes), tuple(group_ranks))
+            )
+        else:
+            # trailing rankless nodes ride with the last loaded group
+            last = plans[-1]
+            plans[-1] = ShardPlan(
+                last.index,
+                last.node_indices + tuple(group_nodes),
+                last.ranks,
+            )
+    return plans
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+class _Shard:
+    """The in-worker world: one sub-kernel over the shard's nodes."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        machines: list[Machine],
+        assignments: list[TaskAssignment],
+        options: SrunOptions,
+        app: AppFactory,
+        *,
+        use_mpi: bool,
+        helper_thread: bool,
+        monitor_factory: Optional[Callable],
+        fabric_spec: dict,
+        timeslice: int,
+        smt_efficiency: float,
+    ):
+        self.plan = plan
+        local_of = {g: i for i, g in enumerate(plan.node_indices)}
+        kernel = SimKernel(
+            [machines[g] for g in plan.node_indices],
+            timeslice=timeslice,
+            smt_efficiency=smt_efficiency,
+        )
+        # shards report traffic and build envelopes in global node terms
+        for local, global_index in enumerate(plan.node_indices):
+            kernel.nodes[local].node_index = global_index
+        self.kernel = kernel
+        self.options = options
+
+        rank_node = {a.rank: a.node_index for a in assignments}
+        self.job: Optional[ShardMpiJob] = None
+        if use_mpi:
+            fabric = ShardFabric(
+                rank_node=rank_node, local_ranks=plan.ranks, **fabric_spec
+            )
+            self.job = ShardMpiJob(kernel, fabric, world_size=options.ntasks)
+
+        local_assignments = [
+            a for a in assignments if a.node_index in local_of
+        ]
+        stride = 2 if helper_thread else 1
+        self.contexts: list[RankContext] = []
+        self.monitors: list = []
+        for assignment in local_assignments:
+            ctx = RankContext(
+                rank=assignment.rank,
+                size=options.ntasks,
+                env=dict(options.env),
+                assignment=assignment,
+            )
+            ctx.kernel = kernel
+            node = kernel.nodes[local_of[assignment.node_index]]
+            # replay the serial launcher's PID layout for this rank
+            kernel.set_next_pid(_FIRST_PID + stride * assignment.rank)
+            proc = kernel.spawn_process(
+                node,
+                assignment.cpuset,
+                app(ctx),
+                command=options.command,
+                env=dict(options.env),
+                rank=assignment.rank if use_mpi else None,
+            )
+            ctx.process = proc
+            if self.job is not None:
+                ctx.comm = self.job.add_rank(assignment.rank, proc)
+            ctx.omp = OpenMPRuntime(kernel, proc)
+            ctx.gpus = [node.gpu(g) for g in assignment.gpu_physical]
+            for visible, dev in enumerate(ctx.gpus):
+                dev.info.visible_index = visible
+            if helper_thread:
+                kernel.spawn_thread(
+                    proc,
+                    _mpi_helper_behavior(),
+                    name="mpi-helper",
+                    affinity=node.machine.usable_cpuset(),
+                    roles={ThreadRole.OTHER},
+                    daemon=True,
+                )
+            self.contexts.append(ctx)
+
+        if self.job is not None:
+            self.job.finalize_ranks()
+
+        if monitor_factory is not None:
+            monitor_base = _FIRST_PID + stride * options.ntasks
+            for ctx in self.contexts:
+                kernel.set_next_pid(monitor_base + ctx.rank)
+                self.monitors.append(monitor_factory(ctx))
+
+        # post-launch dynamic spawns (if any) get a per-shard range that
+        # cannot collide with any rank's static PIDs
+        kernel.set_next_pid(_FIRST_PID + _DYNAMIC_PID_STRIDE * (plan.index + 1))
+
+    # -- epoch protocol --------------------------------------------------
+    def admit(self, env: RemoteEnvelope) -> None:
+        """Register one cross-shard arrival as a local timer."""
+        assert self.job is not None
+        comm = self.job.comms.get(env.dst_rank)
+        if comm is None:
+            return  # destination rank vanished (degraded run)
+        message = env.message
+        when = max(env.arrival_tick, self.kernel.now)
+
+        def arrive(k: SimKernel) -> None:
+            message.recv_tick = k.now
+            comm._on_arrival(k, message)
+
+        self.kernel.call_at(when, arrive)
+
+    def run_epoch(
+        self, until: int, inbound: list[RemoteEnvelope], completions: list[dict]
+    ) -> dict:
+        kernel = self.kernel
+        if self.job is not None:
+            for c in completions:
+                self.job.complete_collective(
+                    kernel, c["kind"], c["seq"], c["data"]
+                )
+            for env in inbound:
+                self.admit(env)
+        if kernel.alive_work():
+            kernel.run(
+                max_ticks=max(1, until - kernel.clock.tick),
+                until_tick=until,
+                raise_on_stall=False,
+            )
+        reply = {
+            "clock": kernel.clock.tick,
+            "done": not kernel.alive_work(),
+            "stalled": kernel.stalled(),
+            "outbox": (
+                self.job.fabric.drain_outbox() if self.job is not None else []
+            ),
+            "contributions": (
+                self.job.collect_coll_contributions()
+                if self.job is not None
+                else []
+            ),
+        }
+        return reply
+
+    def finish(self, end_tick: int) -> dict:
+        """Align to the global end tick, finalize monitors, marshal."""
+        kernel = self.kernel
+        if kernel.clock.tick < end_tick:
+            if kernel.alive_work():
+                # degraded abort: best-effort idle-through to the end
+                kernel.run(
+                    max_ticks=end_tick - kernel.clock.tick,
+                    until_tick=end_tick,
+                    raise_on_stall=False,
+                )
+                if kernel.clock.tick < end_tick and kernel._quiescent():
+                    kernel._fast_forward_to(end_tick)
+            elif kernel._quiescent():
+                kernel._fast_forward_to(end_tick)
+        for monitor in self.monitors:
+            monitor.finalize()
+        return self._marshal()
+
+    def _marshal(self) -> dict:
+        from repro.analysis.cluster_view import node_mem_used_frac, rank_summary
+        from repro.core.advisor import advise
+        from repro.core.contention import analyze
+        from repro.core.reports import build_report
+
+        ranks: dict[int, RankResult] = {}
+        p2p_bytes = None
+        p2p_messages = None
+        for ctx, monitor in zip(self.contexts, self.monitors):
+            report = build_report(monitor)
+            result = RankResult(
+                rank=ctx.rank,
+                pid=ctx.process.pid,
+                hostname=report.hostname,
+                report=report,
+                findings=analyze(monitor, report),
+                advice=advise(monitor, self.options),
+                summary=rank_summary(monitor, report),
+                store=monitor.store,
+                heartbeats=list(monitor.heartbeats),
+                crash_reports=list(monitor.crash_reports),
+            )
+            ranks[ctx.rank] = result
+            if monitor.recorder is not None:
+                if p2p_bytes is None:
+                    p2p_bytes = monitor.recorder.bytes.copy()
+                    p2p_messages = monitor.recorder.messages.copy()
+                else:
+                    p2p_bytes += monitor.recorder.bytes
+                    p2p_messages += monitor.recorder.messages
+        if not self.monitors:
+            for ctx in self.contexts:
+                ranks[ctx.rank] = RankResult(
+                    rank=ctx.rank,
+                    pid=ctx.process.pid,
+                    hostname=ctx.process.node.hostname,
+                )
+        node_mem = {}
+        for monitor in self.monitors:
+            node_mem.setdefault(
+                monitor.process.node.hostname, node_mem_used_frac(monitor)
+            )
+        return {
+            "clock": self.kernel.clock.tick,
+            "ranks": ranks,
+            "node_mem": node_mem,
+            "p2p_bytes": p2p_bytes,
+            "p2p_messages": p2p_messages,
+            "traffic": (
+                dict(self.job.fabric.traffic) if self.job is not None else {}
+            ),
+        }
+
+
+def _worker_main(conn, build: Callable[[], _Shard]) -> None:
+    """Worker process entry: build the shard, serve barrier commands."""
+    try:
+        shard = build()
+        while True:
+            try:
+                cmd = conn.recv()
+            except EOFError:
+                return  # orchestrator went away
+            if cmd[0] == "epoch":
+                _, until, inbound, completions = cmd
+                conn.send(("epoch", shard.run_epoch(until, inbound, completions)))
+            elif cmd[0] == "finish":
+                conn.send(("results", shard.finish(cmd[1])))
+                return
+            else:  # pragma: no cover - protocol error
+                raise LaunchError(f"unknown shard command {cmd[0]!r}")
+    except BaseException as exc:
+        try:
+            conn.send(
+                ("error", {"exc": repr(exc), "traceback": traceback.format_exc()})
+            )
+        except Exception:
+            pass
+        os._exit(1)
+
+
+# ----------------------------------------------------------------------
+# orchestrator side
+# ----------------------------------------------------------------------
+class ShardedJobStep:
+    """A sharded job: mirrors :class:`~repro.launch.job.JobStep`.
+
+    ``run()`` drives the epoch barrier loop *and* finalizes the
+    workers (remote monitors cannot be flushed lazily), so
+    ``finalize()`` is a no-op kept for call-site compatibility.
+    Results — reports, findings, advice, stores, the P2P matrix — are
+    computed inside the workers and marshalled back.
+    """
+
+    def __init__(
+        self,
+        plans: list[ShardPlan],
+        options: SrunOptions,
+        assignments: list[TaskAssignment],
+        epoch_ticks: int,
+        *,
+        has_monitors: bool,
+        epoch_timeout: Optional[float],
+    ):
+        self.plans = plans
+        self.options = options
+        self.assignments = assignments
+        self.epoch_ticks = epoch_ticks
+        self.has_monitors = has_monitors
+        self.epoch_timeout = epoch_timeout
+        # lazy: repro.collect pulls in repro.core, which imports launch
+        from repro.collect.faults import DegradationLedger
+
+        self.monitors: list = []  # parity with JobStep; always empty
+        self.ticks_run = 0
+        self.ledger = DegradationLedger()
+        self._procs: list = []
+        self._conns: list = []
+        self._results: Optional[dict[int, RankResult]] = None
+        self._node_mem: dict[str, float] = {}
+        self._traffic: dict[tuple[int, int], int] = {}
+        self._p2p_bytes = None
+        self._p2p_messages = None
+        self._shard_of_rank = {
+            r: p.index for p in plans for r in p.ranks
+        }
+        self._hz = Clock().hz
+
+    # -- lifecycle -------------------------------------------------------
+    def _attach(self, procs, conns) -> None:
+        self._procs = procs
+        self._conns = conns
+
+    def _recv(self, shard: int):
+        """One reply from a worker; None means the worker is lost."""
+        conn = self._conns[shard]
+        try:
+            if self.epoch_timeout is not None and not conn.poll(
+                self.epoch_timeout
+            ):
+                raise TimeoutError(
+                    f"shard {shard} missed the epoch barrier after "
+                    f"{self.epoch_timeout:g}s"
+                )
+            msg = conn.recv()
+        except (EOFError, OSError, TimeoutError) as exc:
+            self._degrade(shard, exc)
+            return None
+        if msg[0] == "error":
+            exc = RuntimeError(msg[1]["exc"] + "\n" + msg[1]["traceback"])
+            self._degrade(shard, exc)
+            return None
+        return msg[1]
+
+    def _degrade(self, shard: int, exc: BaseException) -> None:
+        """Contain one lost worker: ledger it, reap the process."""
+        from repro.collect.faults import PERMANENT, classify_failure
+
+        plan = self.plans[shard]
+        failure_class = classify_failure(exc) or PERMANENT
+        self.ledger.record_failure(
+            f"shard-{shard}",
+            tick=float(self.ticks_run),
+            reason=(
+                f"worker for nodes {list(plan.node_indices)} "
+                f"(ranks {list(plan.ranks)}) lost: {exc}"
+            ),
+            failure_class=failure_class,
+        )
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.terminate()
+        try:
+            self._conns[shard].close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Reap every worker (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the epoch barrier loop ------------------------------------------
+    def run(self, max_ticks: int = 10_000_000, raise_on_stall: bool = True) -> int:
+        """Drive all shards to completion; returns elapsed ticks."""
+        if self._results is not None:
+            return self.ticks_run
+        L = self.epoch_ticks
+        n = len(self.plans)
+        active = [i for i in range(n)]
+        lost: set[int] = set()
+        clocks = [0] * n
+        inbound: dict[int, list[RemoteEnvelope]] = {i: [] for i in range(n)}
+        completions: dict[int, list[dict]] = {i: [] for i in range(n)}
+        colls: dict[tuple[str, int], dict] = {}
+        world = self.options.ntasks
+        boundary = 0
+        aborted = False
+
+        while active and boundary < max_ticks:
+            boundary = min(boundary + L, max_ticks)
+            for shard in active:
+                self._conns[shard].send(
+                    ("epoch", boundary, inbound[shard], completions[shard])
+                )
+                inbound[shard] = []
+                completions[shard] = []
+            replies: dict[int, dict] = {}
+            for shard in list(active):
+                reply = self._recv(shard)
+                if reply is None:
+                    active.remove(shard)
+                    lost.add(shard)
+                    aborted = True
+                    continue
+                replies[shard] = reply
+                clocks[shard] = reply["clock"]
+            if aborted:
+                break
+
+            # route cross-shard messages in serial injection order
+            envelopes: list[RemoteEnvelope] = []
+            for reply in replies.values():
+                envelopes.extend(reply["outbox"])
+            envelopes.sort(key=RemoteEnvelope.sort_key)
+            routed = 0
+            for env in envelopes:
+                dst = self._shard_of_rank.get(env.dst_rank)
+                if dst is not None and dst not in lost:
+                    inbound[dst].append(env)
+                    routed += 1
+
+            # merge collective contributions; complete full rendezvous
+            completed = 0
+            for shard, reply in replies.items():
+                for c in reply["contributions"]:
+                    key = (c["kind"], c["seq"])
+                    g = colls.setdefault(key, {"joined": 0, "data": {}})
+                    g["joined"] += c["joined"]
+                    g["data"].update(c["data"])
+            for key in sorted(colls):
+                g = colls[key]
+                if g["joined"] >= world and not g.get("done"):
+                    g["done"] = True
+                    completed += 1
+                    for shard in active:
+                        completions[shard].append(
+                            {"kind": key[0], "seq": key[1], "data": g["data"]}
+                        )
+
+            for shard in list(active):
+                if replies[shard]["done"]:
+                    active.remove(shard)
+
+            if (
+                active
+                and routed == 0
+                and completed == 0
+                and not any(inbound[s] for s in active)
+                and all(replies[s]["stalled"] for s in active)
+            ):
+                if raise_on_stall:
+                    self.close()
+                    raise DeadlockError(
+                        f"sharded simulation stalled at tick {boundary}; "
+                        f"stalled shards: {sorted(active)}"
+                    )
+                break
+
+        end_tick = max(clocks) if clocks else 0
+        self.ticks_run = end_tick
+        self._collect(end_tick, lost)
+        return self.ticks_run
+
+    def _collect(self, end_tick: int, lost: set[int]) -> None:
+        results: dict[int, RankResult] = {}
+        for shard in range(len(self.plans)):
+            if shard in lost:
+                continue
+            try:
+                self._conns[shard].send(("finish", end_tick))
+            except (OSError, ValueError) as exc:
+                self._degrade(shard, exc)
+                continue
+            reply = self._recv(shard)
+            if reply is None:
+                continue
+            results.update(reply["ranks"])
+            self._node_mem.update(reply["node_mem"])
+            for key, nbytes in reply["traffic"].items():
+                self._traffic[key] = self._traffic.get(key, 0) + nbytes
+            if reply["p2p_bytes"] is not None:
+                if self._p2p_bytes is None:
+                    self._p2p_bytes = reply["p2p_bytes"]
+                    self._p2p_messages = reply["p2p_messages"]
+                else:
+                    self._p2p_bytes += reply["p2p_bytes"]
+                    self._p2p_messages += reply["p2p_messages"]
+        self._results = results
+        self.close()
+
+    def finalize(self) -> None:
+        """No-op: workers finalize their monitors inside ``run()``."""
+
+    # -- result accessors (JobStep parity) -------------------------------
+    @property
+    def degradations(self) -> list:
+        """Worker-loss events recorded during the run."""
+        return list(self.ledger.events)
+
+    def _result(self, rank: int) -> RankResult:
+        if self._results is None:
+            raise LaunchError("sharded job has not run yet")
+        result = self._results.get(rank)
+        if result is None:
+            raise LaunchError(
+                f"no results for rank {rank} (its shard was lost or the "
+                "rank does not exist)"
+            )
+        return result
+
+    def monitor(self, rank: int = 0):
+        """Unavailable on sharded jobs: monitors live in the workers."""
+        raise LaunchError(
+            "sharded jobs marshal results instead of live monitors; use "
+            "report()/findings()/advice()/store() or cluster_view()"
+        )
+
+    def store(self, rank: int = 0):
+        """The marshalled SampleStore of one rank."""
+        result = self._require_monitored(rank)
+        return result.store
+
+    def _require_monitored(self, rank: int) -> RankResult:
+        result = self._result(rank)
+        if result.report is None:
+            raise LaunchError("job was launched without monitors")
+        return result
+
+    def report(self, rank: int = 0):
+        """Utilization report for one rank (Listing 2 layout)."""
+        return self._require_monitored(rank).report
+
+    def findings(self, rank: int = 0):
+        """Contention/misconfiguration findings for one rank."""
+        return self._require_monitored(rank).findings
+
+    def advice(self, rank: int = 0):
+        """Launch-configuration advice derived from one rank's run."""
+        return self._require_monitored(rank).advice
+
+    def heartbeats(self, rank: int = 0) -> list:
+        """Heartbeat lines emitted by one rank's monitor."""
+        return self._require_monitored(rank).heartbeats
+
+    def comm_matrix(self):
+        """The merged point-to-point bytes matrix (Figure 5 input)."""
+        from repro.core.heatmap import CommMatrix
+        from repro.errors import MonitorError
+
+        if self._p2p_bytes is None:
+            raise MonitorError("no monitor carries MPI point-to-point data")
+        out = CommMatrix.zeros(self._p2p_bytes.shape[0])
+        out.bytes += self._p2p_bytes
+        out.messages += self._p2p_messages
+        return out
+
+    def cluster_view(self):
+        """The allocation-wide view, merged across shards."""
+        from repro.analysis.cluster_view import assemble_cluster_view
+
+        if self._results is None:
+            raise LaunchError("sharded job has not run yet")
+        summaries = [
+            r.summary for r in self._results.values() if r.summary is not None
+        ]
+        return assemble_cluster_view(summaries, dict(self._node_mem))
+
+    @property
+    def rank_results(self) -> dict[int, RankResult]:
+        if self._results is None:
+            raise LaunchError("sharded job has not run yet")
+        return dict(self._results)
+
+    @property
+    def traffic(self) -> dict[tuple[int, int], int]:
+        """Accepted bytes per (src_node, dst_node), merged across shards."""
+        return dict(self._traffic)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.ticks_run / self._hz
+
+
+def _fabric_spec(fabric: Optional[Fabric]) -> dict:
+    f = fabric or Fabric()
+    if f.jitter > 0:
+        raise LaunchError(
+            "sharded execution requires a jitter-free fabric (jitter "
+            "draws are ordered by the global send sequence)"
+        )
+    if int(f.remote_latency) < 1:
+        raise LaunchError(
+            "sharded execution needs remote_latency >= 1 tick of lookahead"
+        )
+    return {
+        "local_latency": f.local_latency,
+        "remote_latency": f.remote_latency,
+        "local_bandwidth": f.local_bandwidth,
+        "remote_bandwidth": f.remote_bandwidth,
+        "jitter": f.jitter,
+        "seed": f.seed,
+    }
+
+
+def launch_sharded(
+    machines: list[Machine],
+    options: SrunOptions,
+    app: AppFactory,
+    *,
+    workers: int,
+    use_mpi: bool = True,
+    helper_thread: bool = True,
+    monitor_factory: Optional[Callable] = None,
+    fabric: Optional[Fabric] = None,
+    timeslice: int = 3,
+    smt_efficiency: float = 1.0,
+    epoch_ticks: Optional[int] = None,
+    epoch_timeout: Optional[float] = 120.0,
+) -> ShardedJobStep:
+    """Build the sharded world for one job step (does not run it).
+
+    Workers are forked immediately so they inherit ``machines``, the
+    app factory, and the monitor factory without pickling; the epoch
+    loop starts on :meth:`ShardedJobStep.run`.
+    """
+    from repro.launch.slurm import assign_tasks
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise LaunchError(
+            "sharded execution needs the fork start method (POSIX only)"
+        )
+    # warm the marshalling imports before forking: children inherit the
+    # loaded modules instead of each paying the import chain at finish
+    import repro.analysis.cluster_view  # noqa: F401
+    import repro.core.advisor  # noqa: F401
+    import repro.core.contention  # noqa: F401
+    import repro.core.reports  # noqa: F401
+    spec = _fabric_spec(fabric)
+    lookahead = int(spec["remote_latency"])
+    epoch = min(epoch_ticks or lookahead, lookahead)
+    if epoch < 1:
+        raise LaunchError("epoch_ticks must be >= 1")
+
+    assignments = assign_tasks(machines, options)
+    plans = plan_shards(assignments, len(machines), workers)
+    if len(plans) < 2:
+        raise LaunchError(
+            "sharded execution needs >= 2 node groups; use the serial "
+            "launcher for single-node jobs"
+        )
+
+    step = ShardedJobStep(
+        plans,
+        options,
+        assignments,
+        epoch,
+        has_monitors=monitor_factory is not None,
+        epoch_timeout=epoch_timeout,
+    )
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    conns = []
+    for plan in plans:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+
+        def build(plan=plan) -> _Shard:
+            return _Shard(
+                plan,
+                machines,
+                assignments,
+                options,
+                app,
+                use_mpi=use_mpi,
+                helper_thread=helper_thread,
+                monitor_factory=monitor_factory,
+                fabric_spec=spec,
+                timeslice=timeslice,
+                smt_efficiency=smt_efficiency,
+            )
+
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, build),
+            name=f"zerosum-shard-{plan.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        procs.append(proc)
+        conns.append(parent_conn)
+    step._attach(procs, conns)
+    return step

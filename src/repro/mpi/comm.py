@@ -26,9 +26,17 @@ from repro.kernel.events import Event, WaitObject
 from repro.kernel.lwp import Behavior
 from repro.kernel.process import SimProcess
 from repro.kernel.scheduler import SimKernel
-from repro.mpi.fabric import Fabric, Message
+from repro.mpi.fabric import Fabric, Message, ShardFabric
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "RankComm", "MpiJob", "payload_nbytes"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "RankComm",
+    "MpiJob",
+    "ShardMpiJob",
+    "payload_nbytes",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -99,9 +107,16 @@ class _CollState:
     parties: int
     arrived: int = 0
     departed: int = 0
-    data: dict[int, object] = field(default_factory=dict)
+    data: dict[object, object] = field(default_factory=dict)
     result: object = None
     event: Event = field(default_factory=lambda: Event("coll"))
+    #: ranks that arrived here, in arrival order (sharded launch reports
+    #: these to the orchestrator at epoch barriers)
+    joiners: list[int] = field(default_factory=list)
+    #: the finish closure of any arrived rank — rank-independent for
+    #: every collective above, so the orchestrator-driven completion
+    #: path can run it when remote contributions complete the set
+    finish_fn: Optional[Callable[["_CollState"], None]] = None
 
 
 class MpiJob:
@@ -139,6 +154,18 @@ class MpiJob:
         except KeyError:
             raise MpiError(f"no rank {rank} in communicator") from None
 
+    # -- cross-shard seam ---------------------------------------------------
+    def is_remote_rank(self, rank: int) -> bool:
+        """True if ``rank`` exists in the world but lives in another
+        shard.  The serial job owns every rank, so: never."""
+        return False
+
+    def send_remote(
+        self, kernel: SimKernel, src: int, dst: int, message: Message
+    ) -> None:
+        """Hand a message to a rank owned by another shard."""
+        raise MpiError(f"no rank {dst} in communicator")
+
     # -- collective state management ---------------------------------------
     def coll_state(self, kind: str, seq: int) -> _CollState:
         """Get-or-create rendezvous state for one collective."""
@@ -148,6 +175,12 @@ class MpiJob:
             state = _CollState(parties=self.size)
             self._coll_states[key] = state
         return state
+
+    def coll_all_departed(self, state: _CollState) -> bool:
+        """True once every rank this job *hosts* has departed the
+        collective — the world for the serial job, the shard-resident
+        subset for :class:`ShardMpiJob`."""
+        return state.departed >= state.parties
 
     def coll_discard(self, kind: str, seq: int) -> None:
         """Drop completed collective state."""
@@ -216,7 +249,9 @@ class RankComm:
         if dest == self.rank:
             raise MpiError("send to self: use sendrecv or a buffer")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
-        dst_comm = self.job.comm_for(dest)
+        dst_comm = self.job.comms.get(dest)
+        if dst_comm is None and not self.job.is_remote_rank(dest):
+            raise MpiError(f"no rank {dest} in communicator")
         for hook in self.p2p_hooks:
             hook(self.rank, dest, size)
         self.sent_bytes += size
@@ -230,10 +265,18 @@ class RankComm:
             seq=next(self._msg_seq),
         )
 
-        def inject(kernel: SimKernel, lwp: object) -> None:
-            self.job.fabric.deliver(
-                kernel, self.process, dst_comm.process, msg, dst_comm._on_arrival
-            )
+        if dst_comm is None:
+
+            def inject(kernel: SimKernel, lwp: object) -> None:
+                self.job.send_remote(kernel, self.rank, dest, msg)
+
+        else:
+
+            def inject(kernel: SimKernel, lwp: object) -> None:
+                self.job.fabric.deliver(
+                    kernel, self.process, dst_comm.process, msg,
+                    dst_comm._on_arrival,
+                )
 
         yield Compute(self.CALL_COST, user_frac=self.CALL_USER_FRAC)
         yield Call(inject)
@@ -310,6 +353,8 @@ class RankComm:
         def arrive(kernel: SimKernel, lwp: object) -> object:
             contribute(state)
             state.arrived += 1
+            state.joiners.append(self.rank)
+            state.finish_fn = finish
             if state.arrived >= state.parties:
                 finish(state)
                 state.event.set(kernel)
@@ -323,7 +368,7 @@ class RankComm:
 
         def depart(kernel: SimKernel, lwp: object) -> None:
             state.departed += 1
-            if state.departed >= state.parties:
+            if self.job.coll_all_departed(state):
                 self.job.coll_discard(kind, seq)
 
         yield Call(depart)
@@ -405,3 +450,92 @@ class RankComm:
 
     def __repr__(self) -> str:
         return f"<RankComm rank={self.rank}/{self.job.size} pid={self.process.pid}>"
+
+
+class ShardMpiJob(MpiJob):
+    """The MPI world as seen from one shard of the sharded launcher.
+
+    Only the shard-resident ranks have live :class:`RankComm` endpoints
+    here; ``size`` still reports the *world* size so ``Get_size`` and
+    ``finalize_ranks`` behave exactly as in the serial kernel.  Sends to
+    non-resident ranks are buffered on the :class:`ShardFabric` outbox
+    and exchanged at epoch barriers; collectives rendezvous locally and
+    report their contributions to the orchestrator, which completes them
+    once every world rank has arrived (see ``launch/sharded.py``).
+
+    Cross-shard collectives are *value-correct but epoch-quantized*:
+    completion is observed at the first epoch boundary after the last
+    rank arrives, so jobs that issue collectives are merged correctly
+    but are not bit-identical in timing to the serial kernel (pure
+    point-to-point jobs are).  Contribution payloads must be picklable.
+    """
+
+    def __init__(self, kernel: SimKernel, fabric: ShardFabric, world_size: int):
+        super().__init__(kernel, fabric=fabric)
+        if not isinstance(fabric, ShardFabric):
+            raise MpiError("ShardMpiJob requires a ShardFabric")
+        self.world_size = world_size
+        #: joiners already reported to the orchestrator, per collective
+        self._coll_reported: dict[tuple[str, int], int] = {}
+        #: data keys already reported, per collective
+        self._coll_sent_keys: dict[tuple[str, int], set] = {}
+
+    @property
+    def size(self) -> int:
+        return self.world_size
+
+    def is_remote_rank(self, rank: int) -> bool:
+        return rank not in self.comms and rank in self.fabric.rank_node
+
+    def send_remote(
+        self, kernel: SimKernel, src: int, dst: int, message: Message
+    ) -> None:
+        self.fabric.send_remote(kernel, src, dst, message)
+
+    def coll_all_departed(self, state: _CollState) -> bool:
+        # only the shard-resident ranks ever depart here
+        return state.departed >= len(self.comms)
+
+    # -- barrier protocol --------------------------------------------------
+    def collect_coll_contributions(self) -> list[dict]:
+        """New (rank, data) contributions since the last epoch barrier."""
+        out: list[dict] = []
+        for key in sorted(self._coll_states):
+            state = self._coll_states[key]
+            reported = self._coll_reported.get(key, 0)
+            fresh = state.joiners[reported:]
+            if not fresh:
+                continue
+            self._coll_reported[key] = len(state.joiners)
+            sent = self._coll_sent_keys.setdefault(key, set())
+            data = {}
+            for k, v in state.data.items():
+                if k not in sent:
+                    sent.add(k)
+                    data[k] = v
+            out.append(
+                {"kind": key[0], "seq": key[1], "joined": len(fresh), "data": data}
+            )
+        return out
+
+    def complete_collective(
+        self, kernel: SimKernel, kind: str, seq: int, data: dict
+    ) -> None:
+        """Orchestrator callback: every world rank has arrived."""
+        key = (kind, seq)
+        state = self._coll_states.get(key)
+        if state is None or state.finish_fn is None:
+            raise MpiError(
+                f"collective {key} completed remotely but never "
+                "rendezvoused in this shard"
+            )
+        for k, v in data.items():
+            state.data.setdefault(k, v)
+        state.arrived = state.parties
+        state.finish_fn(state)
+        state.event.set(kernel)
+
+    def coll_discard(self, kind: str, seq: int) -> None:
+        super().coll_discard(kind, seq)
+        self._coll_reported.pop((kind, seq), None)
+        self._coll_sent_keys.pop((kind, seq), None)

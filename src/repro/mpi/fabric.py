@@ -6,12 +6,25 @@ on Frontier).  The model is deliberately simple — a base latency plus
 a size-proportional serialization delay — because the experiments only
 need *relative* communication behaviour (who talks to whom and how
 much), not absolute wire performance.
+
+Two delivery planes exist:
+
+* :class:`Fabric` delivers inside one kernel (the serial launcher, and
+  intra-shard traffic of the sharded launcher) via kernel timers;
+* :class:`ShardFabric` additionally buffers *cross-shard* sends as
+  :class:`RemoteEnvelope` records in an outbox that the sharded
+  orchestrator drains at every epoch barrier and re-injects into the
+  destination shard.  Because every epoch is at most ``lookahead =
+  int(remote_latency)`` ticks long, a message sent during epoch *k*
+  can never be due before epoch *k+1* starts, so barrier exchange
+  preserves exact arrival ticks (conservative PDES lookahead).
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -21,7 +34,7 @@ if TYPE_CHECKING:
     from repro.kernel.process import SimProcess
     from repro.kernel.scheduler import SimKernel
 
-__all__ = ["Message", "Fabric"]
+__all__ = ["Message", "Fabric", "RemoteEnvelope", "ShardFabric"]
 
 
 @dataclass
@@ -36,6 +49,30 @@ class Message:
     seq: int = 0
     sent_tick: int = 0
     recv_tick: Optional[int] = None
+
+
+@dataclass
+class RemoteEnvelope:
+    """A cross-shard message buffered for exchange at the epoch barrier.
+
+    ``(sent_tick, src_node, order)`` reproduces the serial kernel's
+    global injection order: within one tick the serial scheduler walks
+    nodes in index order, and each node's sends of that tick happen in
+    its local program order (``order`` is the shard-local send
+    sequence).  Sorting all shards' envelopes by this key before
+    re-injection therefore registers arrival timers in exactly the
+    order the serial kernel would have.
+    """
+
+    arrival_tick: int
+    sent_tick: int
+    src_node: int  # global node index
+    order: int  # shard-local send sequence
+    dst_rank: int
+    message: Message
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (self.sent_tick, self.src_node, self.order)
 
 
 @dataclass
@@ -64,19 +101,27 @@ class Fabric:
             raise MpiError("jitter must be >= 0")
         self._rng = np.random.default_rng(self.seed)
 
-    def delay_ticks(
-        self, src_proc: "SimProcess", dst_proc: "SimProcess", nbytes: int
-    ) -> int:
+    def delay_for(self, same_node: bool, nbytes: int) -> int:
         """Delivery delay for one message, in ticks."""
         if nbytes < 0:
             raise MpiError("message size must be >= 0")
-        same_node = src_proc.node is dst_proc.node
         latency = self.local_latency if same_node else self.remote_latency
         bandwidth = self.local_bandwidth if same_node else self.remote_bandwidth
         delay = latency + nbytes / bandwidth
         if self.jitter > 0:
             delay *= float(np.exp(self._rng.normal(0.0, self.jitter)))
         return int(delay)
+
+    def delay_ticks(
+        self, src_proc: "SimProcess", dst_proc: "SimProcess", nbytes: int
+    ) -> int:
+        """Delivery delay between two resident processes, in ticks."""
+        return self.delay_for(src_proc.node is dst_proc.node, nbytes)
+
+    def record_traffic(self, src_node: int, dst_node: int, nbytes: int) -> None:
+        """Account accepted bytes on the (src, dst) node pair."""
+        key = (src_node, dst_node)
+        self.traffic[key] = self.traffic.get(key, 0) + nbytes
 
     def deliver(
         self,
@@ -88,8 +133,9 @@ class Fabric:
     ) -> None:
         """Schedule arrival of a message at the destination endpoint."""
         message.sent_tick = kernel.now
-        key = (src_proc.node.node_index, dst_proc.node.node_index)
-        self.traffic[key] = self.traffic.get(key, 0) + message.nbytes
+        self.record_traffic(
+            src_proc.node.node_index, dst_proc.node.node_index, message.nbytes
+        )
         delay = self.delay_ticks(src_proc, dst_proc, message.nbytes)
 
         def arrive(k: "SimKernel") -> None:
@@ -102,3 +148,64 @@ class Fabric:
             arrive(kernel)
         else:
             kernel.call_after(delay, arrive)
+
+
+class ShardFabric(Fabric):
+    """Fabric of one shard: local delivery plus a cross-shard outbox.
+
+    ``rank_node`` maps every world rank to its *global* node index;
+    ``local_ranks`` are the ranks resident in this shard.  Sends whose
+    destination is non-resident are buffered as envelopes and drained
+    by the orchestrator at the epoch barrier.
+    """
+
+    def __init__(
+        self,
+        rank_node: Mapping[int, int],
+        local_ranks: Iterable[int],
+        **kwargs: object,
+    ):
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        if self.jitter > 0:
+            # jitter draws from one shared RNG whose draw order is the
+            # global send order — unreproducible across shards
+            raise MpiError("sharded execution requires a jitter-free fabric")
+        if int(self.remote_latency) < 1:
+            raise MpiError(
+                "sharded execution needs remote_latency >= 1 tick of "
+                "lookahead to bound the epoch"
+            )
+        self.rank_node = dict(rank_node)
+        self.local_ranks = frozenset(local_ranks)
+        self.outbox: list[RemoteEnvelope] = []
+        self._order = itertools.count()
+
+    @property
+    def lookahead(self) -> int:
+        """Maximum epoch length preserving exact arrival ticks."""
+        return int(self.remote_latency)
+
+    def send_remote(
+        self, kernel: "SimKernel", src_rank: int, dst_rank: int, message: Message
+    ) -> None:
+        """Buffer a send to a rank owned by another shard."""
+        src_node = self.rank_node[src_rank]
+        dst_node = self.rank_node[dst_rank]
+        message.sent_tick = kernel.now
+        self.record_traffic(src_node, dst_node, message.nbytes)
+        delay = self.delay_for(same_node=False, nbytes=message.nbytes)
+        self.outbox.append(
+            RemoteEnvelope(
+                arrival_tick=kernel.now + delay,
+                sent_tick=kernel.now,
+                src_node=src_node,
+                order=next(self._order),
+                dst_rank=dst_rank,
+                message=message,
+            )
+        )
+
+    def drain_outbox(self) -> list[RemoteEnvelope]:
+        """Hand the buffered cross-shard sends to the orchestrator."""
+        out, self.outbox = self.outbox, []
+        return out

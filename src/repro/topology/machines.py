@@ -25,6 +25,8 @@ The shapes follow the public node diagrams cited in the paper (Figures
 
 from __future__ import annotations
 
+import pickle
+
 from repro.topology.builder import NodeSpec, build_machine
 from repro.topology.objects import Machine
 
@@ -42,6 +44,40 @@ __all__ = [
 FRONTIER_GCD_ORDER: tuple[tuple[int, int], ...] = ((4, 5), (2, 3), (6, 7), (0, 1))
 
 _GCD_MEM = 64 * 1024**3
+
+#: memoized prototypes: spec shape (name excluded) -> pickled Machine.
+#: Rank-heavy benches and the sharded workers build dozens of identical
+#: trees; deserializing a cached prototype is cheaper than rebuilding
+#: and, unlike handing out a shared object, keeps every caller's
+#: Machine independently mutable (reserved cpusets, GPU visible_index).
+_PROTOTYPES: dict[tuple, bytes] = {}
+
+
+def _cached_build(spec: NodeSpec) -> Machine:
+    if spec.attrs:  # unhashable free-form payload: build directly
+        return build_machine(spec)
+    key = (
+        spec.packages,
+        spec.numa_per_package,
+        spec.l3_per_numa,
+        spec.cores_per_l3,
+        spec.smt,
+        spec.numbering,
+        spec.l3_size,
+        spec.l2_size,
+        spec.l1_size,
+        spec.cores_per_l2,
+        spec.memory_bytes,
+        spec.reserved_cores,
+        spec.gpus,
+    )
+    blob = _PROTOTYPES.get(key)
+    if blob is None:
+        blob = pickle.dumps(build_machine(spec), pickle.HIGHEST_PROTOCOL)
+        _PROTOTYPES[key] = blob
+    machine = pickle.loads(blob)
+    machine.name = spec.name  # only the label differs between clones
+    return machine
 
 
 def frontier_node(low_noise: bool = True, name: str = "frontier00001") -> Machine:
@@ -71,7 +107,7 @@ def frontier_node(low_noise: bool = True, name: str = "frontier00001") -> Machin
         reserved_cores=tuple(range(0, 64, 8)) if low_noise else (),
         gpus=tuple(gpus),
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 def summit_node(name: str = "summit00001") -> Machine:
@@ -95,7 +131,7 @@ def summit_node(name: str = "summit00001") -> Machine:
         reserved_cores=(21, 43),
         gpus=gpus,
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 def perlmutter_node(name: str = "nid000001") -> Machine:
@@ -115,7 +151,7 @@ def perlmutter_node(name: str = "nid000001") -> Machine:
         memory_bytes=256 * 1024**3,
         gpus=gpus,
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 def aurora_node(name: str = "aurora00001") -> Machine:
@@ -138,7 +174,7 @@ def aurora_node(name: str = "aurora00001") -> Machine:
         memory_bytes=1024 * 1024**3,
         gpus=gpus,
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 def testnode_i7(name: str = "testnode") -> Machine:
@@ -156,7 +192,7 @@ def testnode_i7(name: str = "testnode") -> Machine:
         l1_size=48 * 1024,
         memory_bytes=16 * 1024**3,
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 def generic_node(
@@ -184,7 +220,7 @@ def generic_node(
         memory_bytes=memory_bytes,
         gpus=gpu_tuples,
     )
-    return build_machine(spec)
+    return _cached_build(spec)
 
 
 MACHINE_FACTORIES = {

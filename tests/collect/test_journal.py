@@ -205,6 +205,51 @@ class TestRoundTrip:
         assert recovered.classify(555) == "ZeroSum"
 
 
+class TestCoalescedAppends:
+    """Each entry point is one write() on the unbuffered handle."""
+
+    def _open(self, tmp_path, **kwargs):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False, **kwargs)
+        writer.open(store, META)
+        return store, writer
+
+    def test_handle_is_unbuffered(self, tmp_path):
+        _, writer = self._open(tmp_path)
+        assert writer._file.write is writer._file.raw.write \
+            if hasattr(writer._file, "raw") else True
+        import io
+
+        assert isinstance(writer._file, io.RawIOBase)
+
+    def test_one_write_per_period(self, tmp_path):
+        store, writer = self._open(tmp_path)
+        writes = []
+        real_write = writer._file.write
+
+        def spy(buf):
+            writes.append(bytes(buf))
+            return real_write(buf)
+
+        writer._file.write = spy
+        drive(store, writer, [1.0, 2.0, 3.0])
+        assert len(writes) == 3
+        # each coalesced buffer is whole lines, never a partial frame
+        for buf in writes:
+            assert buf.endswith(b"\n")
+        assert writer.appends_written == 3
+
+    def test_note_and_meta_are_single_appends(self, tmp_path):
+        store, writer = self._open(tmp_path)
+        before = writer.appends_written
+        writer.update_meta({"monitor_tid": 9})
+        writer.note(1.0, "LastGasp", "sig")
+        assert writer.appends_written == before + 2
+        recovered_records, torn = read_journal(tmp_path / "j.zsj")
+        assert torn == 0
+
+
 class TestTornTail:
     def _journal(self, tmp_path):
         store = SampleStore()

@@ -1,0 +1,170 @@
+"""Journal commit throughput guard: binary ZSJ2 frames vs JSON ZSJ1.
+
+Not a paper artefact — the regression guard for the spill journal's
+write path.  A 64-rank-scale store (512 LWP series, 128 HWT series,
+one memory series) is driven through :class:`JournalWriter` in both
+frame formats and only the journal time (``record_period`` + the
+closing checkpoint) is measured, two workload shapes:
+
+* **batched** — 8 sampler commits per journaled period (the realistic
+  cadence: sampling outpaces journalling), so period deltas are
+  row-dominated.  This is where ZSJ2's struct-packed float64 matrix
+  blocks pay; the ``floor_speedup_zsj2_over_zsj1`` gate is enforced
+  here.
+* **sparse** — one commit per period, identity-dict dominated; the
+  speedup is smaller and recorded unenforced.
+
+The guard also recovers the ZSJ2 journal and asserts the replayed
+series are bit-identical to the live store's — the speedup never gets
+to cost correctness.
+
+Headline numbers land in ``BENCH_journal.json`` at the repo root.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from common import banner, record_result
+from repro.collect import SampleStore
+from repro.collect.journal import JournalWriter, recover_journal
+from repro.core.records import HWT_COLUMNS, LWP_COLUMNS, MEM_COLUMNS
+from repro.topology import CpuSet
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_journal.json"
+
+LWPS = 512   # 64 ranks x 8 threads
+HWTS = 128
+PERIODS = 12
+#: ZSJ2 must journal batched periods at least this many times faster
+MIN_SPEEDUP = 3.0
+
+META = {
+    "driver": "bench",
+    "pid": 100,
+    "rank": 0,
+    "hostname": "node0",
+    "hz": 100.0,
+    "baseline": "zero",
+    "start_tick": 0.0,
+    "cpus_allowed": f"0-{HWTS - 1}",
+}
+
+
+def _lwp_row(tick: float, tid: int) -> tuple:
+    row = [tick + 0.001 * i for i in range(len(LWP_COLUMNS))]
+    row[0], row[2] = tick, 10.0 * tick + tid
+    return tuple(row)
+
+
+def _hwt_row(tick: float, cpu: int) -> tuple:
+    row = [tick + 0.001 * i for i in range(len(HWT_COLUMNS))]
+    row[0], row[1] = tick, 50.0 + cpu
+    return tuple(row)
+
+
+def _feed(store: SampleStore, tick: float) -> None:
+    """One sampler commit across the whole 64-rank-scale series set."""
+    for tid in range(100, 100 + LWPS):
+        store.add_lwp_row(tid, _lwp_row(tick, tid), name=f"w{tid}",
+                          affinity=CpuSet([tid % HWTS]))
+    for cpu in range(HWTS):
+        store.add_hwt_row(cpu, _hwt_row(tick, cpu))
+    store.add_mem_row((tick,) + (0.5,) * (len(MEM_COLUMNS) - 1))
+    store.commit(tick, [])
+
+
+def _drive(path: Path, fmt: int, samples_per_period: int):
+    """Run the workload; returns (journal_seconds, store, rows)."""
+    import time
+
+    store = SampleStore()
+    writer = JournalWriter(path, checkpoint_every=10, fsync=False,
+                           format=fmt)
+    writer.open(store, META)
+    tick = 0.0
+    journal_s = 0.0
+    rows = 0
+    for _ in range(PERIODS):
+        for _ in range(samples_per_period):
+            tick += 1.0
+            _feed(store, tick)
+            rows += LWPS + HWTS + 1
+        start = time.perf_counter()
+        writer.record_period(store, tick)
+        journal_s += time.perf_counter() - start
+    start = time.perf_counter()
+    writer.close(store)
+    journal_s += time.perf_counter() - start
+    return journal_s, store, rows
+
+
+# zsj1 of each shape must run before its zsj2 pairing (the speedup is
+# computed against the zsj1 numbers already on disk), so the matrix is
+# spelled out in execution order
+@pytest.mark.parametrize("shape,samples_per_period,fmt", [
+    ("sparse", 1, 1),
+    ("sparse", 1, 2),
+    ("batched", 8, 1),
+    ("batched", 8, 2),
+])
+def test_journal_commit_throughput(tmp_path, shape, samples_per_period, fmt):
+    path = tmp_path / f"bench-{shape}-{fmt}.zsj"
+    seconds, store, rows = min(
+        (_drive(path, fmt, samples_per_period) for _ in range(3)),
+        key=lambda result: result[0],
+    )
+    periods_per_sec = PERIODS / seconds
+    rows_per_sec = rows / seconds
+    name = f"zsj{fmt}_{shape}"
+    banner(
+        f"Journal commit [{name}] ({LWPS} LWP + {HWTS} HWT series)",
+        "spill-journal regression guard, not a paper artefact",
+    )
+    print(f"{periods_per_sec:,.1f} periods/s  ({rows_per_sec:,.0f} series "
+          f"rows/s, journal {path.stat().st_size / 1e6:.2f} MB)")
+    record_result(RESULTS_PATH, name, {
+        "lwp_rows": LWPS,
+        "samples": PERIODS * samples_per_period,
+        "periods_per_sec": round(periods_per_sec, 2),
+        "rows_per_sec": round(rows_per_sec, 1),
+        "mean_seconds": seconds,
+        "journal_bytes": path.stat().st_size,
+    })
+    if fmt == 2:
+        # correctness rides along: the recovered store must replay to
+        # exactly the live store's series
+        recovered = recover_journal(path)
+        identical = (
+            recovered.store.prev_tick == store.prev_tick
+            and all(
+                store.lwp_series[tid].array.tolist()
+                == recovered.store.lwp_series[tid].array.tolist()
+                for tid in store.lwp_series
+            )
+            and all(
+                store.hwt_series[cpu].array.tolist()
+                == recovered.store.hwt_series[cpu].array.tolist()
+                for cpu in store.hwt_series
+            )
+        )
+        assert identical, "ZSJ2 recovery diverged from the live store"
+        import json
+
+        data = json.loads(RESULTS_PATH.read_text())
+        zsj1 = data.get(f"zsj1_{shape}")
+        if zsj1:
+            speedup = periods_per_sec / zsj1["periods_per_sec"]
+            enforced = shape == "batched"
+            print(f"ZSJ2 speedup over ZSJ1 [{shape}]: {speedup:.2f}x")
+            record_result(RESULTS_PATH, f"speedup_{shape}", {
+                "zsj2_over_zsj1": round(speedup, 2),
+                "floor_speedup_zsj2_over_zsj1":
+                    MIN_SPEEDUP if enforced else None,
+                "bit_identical": identical,
+            })
+            if enforced:
+                assert speedup >= MIN_SPEEDUP, (
+                    f"ZSJ2 only {speedup:.2f}x faster than ZSJ1 on the "
+                    f"batched shape (floor {MIN_SPEEDUP}x)"
+                )

@@ -24,10 +24,18 @@ its framed records into **one** ``write(2)`` (and at most one
 do — the sampler never pays more than one syscall per period, and a
 crash cannot land between the lines of a single append.
 
-Every record is one line, framed ``ZSJ1 <len> <crc32> <json>``; a torn
-trailing record — the half-written line a ``kill -9`` leaves behind —
-fails the frame check and is discarded at recovery, with the tear
-counted in the recovered ledger rather than aborting the recovery.
+Every record is one newline-terminated frame,
+``<magic> <len> <crc32> <body>``, in one of two formats selected per
+writer: ``ZSJ1`` carries compact JSON, ``ZSJ2`` (the default) a packed
+binary body — a string table plus a tagged value tree whose float64
+series rows are struct-packed matrix blocks, several times cheaper to
+encode than JSON at scale (speed, not size: packed floats are usually
+*larger* than their short JSON reprs).  A torn trailing record — the
+half-written frame a ``kill -9`` leaves behind — fails the length/CRC
+check and is discarded at recovery, with the tear counted in the
+recovered ledger rather than aborting the recovery.  Recovery reads
+both formats, even interleaved in one file (an upgraded writer
+appending to an old journal).
 
 :func:`recover_journal` replays a journal back into a fresh store and
 returns a :class:`RecoveredRun` that rebuilds the full utilization +
@@ -39,10 +47,13 @@ from __future__ import annotations
 
 import json
 import os
+import struct
 import threading
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
 
 from repro.collect.faults import DegradationEvent, DegradationLedger
 from repro.collect.store import SampleStore
@@ -57,7 +68,10 @@ if TYPE_CHECKING:
 __all__ = ["JournalWriter", "RecoveredRun", "read_journal", "recover_journal"]
 
 _MAGIC = b"ZSJ1"
+_MAGIC2 = b"ZSJ2"
 FORMAT_VERSION = 1
+#: formats a JournalWriter can be asked to emit (recovery reads both)
+FORMATS = (1, 2)
 
 #: ledger counter dicts copied verbatim into / out of records
 _LEDGER_COUNTERS = (
@@ -94,11 +108,269 @@ def _unframe(line: bytes) -> Optional[dict]:
         return None
 
 
+# -- ZSJ2: packed binary bodies ---------------------------------------------
+#
+# A ZSJ2 body is little-endian throughout:
+#
+#   string table:  uvarint count, then per string: uvarint byte length +
+#                  UTF-8 bytes.  Strings are interned in first-use order
+#                  while encoding the tree; dict keys and string values
+#                  reference the table by index, so repeated keys
+#                  ("columns", "appended", per-tid keys...) cost one
+#                  varint per use instead of a quoted literal.
+#   value tree:    one tagged value (the record dict).
+#
+# Value tags:
+#
+#   0  None
+#   1  False
+#   2  True
+#   3  int       zigzag uvarint (arbitrary precision)
+#   4  float     IEEE-754 binary64, ``<d``
+#   5  str       uvarint string-table index
+#   6  list      uvarint count + that many values
+#   7  dict      uvarint count + per item: uvarint key index + value
+#   8  matrix    uvarint nrows + uvarint ncols + nrows*ncols ``<d``
+#
+# Tag 8 is the fast path: a rectangular list of all-float rows (a
+# series buffer's ``array.tolist()``) packs as one ``struct`` block and
+# decodes back to the same list-of-lists JSON would have produced, so
+# recovery is bit-identical across formats.
+
+_T_NONE, _T_FALSE, _T_TRUE = 0, 1, 2
+_T_INT, _T_FLOAT, _T_STR = 3, 4, 5
+_T_LIST, _T_DICT, _T_MATRIX = 6, 7, 8
+
+_PACK_D = struct.Struct("<d").pack
+
+
+def _pack_uvarint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint, appended to ``out``."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _matrix_cols(value: list) -> int:
+    """Column count if ``value`` packs as a tag-8 matrix, else 0."""
+    ncols = 0
+    for row in value:
+        if type(row) is not list or not row:
+            return 0
+        if ncols == 0:
+            ncols = len(row)
+        elif len(row) != ncols:
+            return 0
+        for cell in row:
+            if type(cell) is not float:
+                return 0
+    return ncols
+
+
+def _encode_value(out: bytearray, strings: dict, value) -> None:
+    # hot path: dict scalars are encoded inline (no recursive call per
+    # leaf), string interning is one dict.setdefault, and one-byte
+    # varints skip the loop — the tree walk is pure Python, so every
+    # leaf-level call it avoids is throughput
+    kind = type(value)
+    if kind is dict:
+        out.append(_T_DICT)
+        count = len(value)
+        if count > 0x7F:
+            _pack_uvarint(out, count)
+        else:
+            out.append(count)
+        for key, item in value.items():
+            index = strings.setdefault(key, len(strings))
+            if index > 0x7F:
+                _pack_uvarint(out, index)
+            else:
+                out.append(index)
+            ikind = type(item)
+            if ikind is float:
+                out.append(_T_FLOAT)
+                out += _PACK_D(item)
+            elif ikind is str:
+                out.append(_T_STR)
+                index = strings.setdefault(item, len(strings))
+                if index > 0x7F:
+                    _pack_uvarint(out, index)
+                else:
+                    out.append(index)
+            elif ikind is int:  # bool is not `is int`: falls through
+                out.append(_T_INT)
+                _pack_uvarint(
+                    out, (item << 1) if item >= 0 else ((~item) << 1) | 1
+                )
+            else:
+                _encode_value(out, strings, item)
+    elif kind is float:
+        out.append(_T_FLOAT)
+        out += _PACK_D(value)
+    elif kind is str:
+        out.append(_T_STR)
+        index = strings.setdefault(value, len(strings))
+        if index > 0x7F:
+            _pack_uvarint(out, index)
+        else:
+            out.append(index)
+    elif kind is np.ndarray:
+        # trusted bulk path: a series buffer's float64 row block packs
+        # straight from the array's memory, no tolist()/flatten walk
+        if value.ndim != 2 or value.dtype != np.float64:
+            _encode_value(out, strings, value.tolist())
+            return
+        out.append(_T_MATRIX)
+        _pack_uvarint(out, value.shape[0])
+        _pack_uvarint(out, value.shape[1])
+        out += value.astype("<f8", copy=False).tobytes()
+    elif kind is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif kind is int:
+        out.append(_T_INT)
+        n = value
+        _pack_uvarint(out, (n << 1) if n >= 0 else ((~n) << 1) | 1)
+    elif kind is list or kind is tuple:
+        ncols = _matrix_cols(value) if kind is list else 0
+        if ncols:
+            out.append(_T_MATRIX)
+            _pack_uvarint(out, len(value))
+            _pack_uvarint(out, ncols)
+            flat = [cell for row in value for cell in row]
+            out += struct.pack("<%dd" % len(flat), *flat)
+        else:
+            out.append(_T_LIST)
+            _pack_uvarint(out, len(value))
+            for item in value:
+                _encode_value(out, strings, item)
+    elif value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        n = int(value)
+        _pack_uvarint(out, (n << 1) if n >= 0 else ((~n) << 1) | 1)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _PACK_D(float(value))
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        _pack_uvarint(out, strings.setdefault(str(value), len(strings)))
+    else:
+        raise JournalError(
+            f"journal payload value of type {kind.__name__} "
+            "is not serializable"
+        )
+
+
+def _encode_body(payload: dict) -> bytes:
+    """String table + tagged value tree (the ZSJ2 frame body)."""
+    strings: dict[str, int] = {}
+    tree = bytearray()
+    _encode_value(tree, strings, payload)
+    body = bytearray()
+    _pack_uvarint(body, len(strings))
+    for text in strings:  # dicts preserve insertion == index order
+        raw = text.encode("utf-8")
+        _pack_uvarint(body, len(raw))
+        body += raw
+    body += tree
+    return bytes(body)
+
+
+def _decode_value(data: bytes, pos: int, strings: list) -> tuple[object, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _T_MATRIX:
+        nrows, pos = _read_uvarint(data, pos)
+        ncols, pos = _read_uvarint(data, pos)
+        count = nrows * ncols
+        flat = struct.unpack_from("<%dd" % count, data, pos)
+        pos += 8 * count
+        return (
+            [list(flat[i: i + ncols]) for i in range(0, count, ncols)],
+            pos,
+        )
+    if tag == _T_DICT:
+        count, pos = _read_uvarint(data, pos)
+        record = {}
+        for _ in range(count):
+            index, pos = _read_uvarint(data, pos)
+            record[strings[index]], pos = _decode_value(data, pos, strings)
+        return record, pos
+    if tag == _T_LIST:
+        count, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(data, pos, strings)
+            items.append(item)
+        return items, pos
+    if tag == _T_FLOAT:
+        return struct.unpack_from("<d", data, pos)[0], pos + 8
+    if tag == _T_INT:
+        raw, pos = _read_uvarint(data, pos)
+        return (raw >> 1) ^ -(raw & 1), pos
+    if tag == _T_STR:
+        index, pos = _read_uvarint(data, pos)
+        return strings[index], pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    raise JournalError(f"unknown ZSJ2 value tag {tag}")
+
+
+def _decode_body(body: bytes) -> Optional[dict]:
+    """Decode one ZSJ2 body; ``None`` for anything malformed."""
+    try:
+        count, pos = _read_uvarint(body, 0)
+        strings = []
+        for _ in range(count):
+            length, pos = _read_uvarint(body, pos)
+            strings.append(body[pos: pos + length].decode("utf-8"))
+            pos += length
+        value, pos = _decode_value(body, pos, strings)
+    except (IndexError, struct.error, UnicodeDecodeError, JournalError):
+        return None
+    if pos != len(body) or not isinstance(value, dict):
+        return None
+    return value
+
+
+def _frame2(payload: dict) -> bytes:
+    """One ZSJ2 journal frame: magic, body length, CRC32, packed body."""
+    body = _encode_body(payload)
+    return (
+        b"%s %d %08x " % (_MAGIC2, len(body), zlib.crc32(body))
+        + body
+        + b"\n"
+    )
+
+
 # -- state (de)serialization ------------------------------------------------
-def _series_state(series: SeriesBuffer) -> dict:
+def _series_state(series: SeriesBuffer, *, binary: bool = False) -> dict:
+    # a binary (ZSJ2) writer takes the float64 row block as the ndarray
+    # itself — the packer serializes it straight from array memory; the
+    # JSON writer needs plain lists
     return {
         "columns": list(series.columns),
-        "rows": series.array.tolist(),
+        "rows": series.array if binary else series.array.tolist(),
         "appended": series.appended,
     }
 
@@ -211,6 +483,11 @@ class JournalWriter:
 
     ``classify`` (optional) stamps each record with the driver's
     thread-kind labels so the recovered report reproduces them.
+
+    ``format`` selects the frame codec: 2 (default) writes packed
+    binary ZSJ2 frames, 1 the legacy JSON ZSJ1 frames.  Recovery reads
+    both, so a ZSJ2 writer may append to (or checkpoint over) a
+    journal begun by an older ZSJ1 writer.
     """
 
     def __init__(
@@ -220,13 +497,18 @@ class JournalWriter:
         checkpoint_every: int = 10,
         fsync: bool = True,
         classify: Optional[Callable[[int], str]] = None,
+        format: int = 2,
     ):
         if checkpoint_every < 1:
             raise JournalError("checkpoint_every must be >= 1")
+        if format not in FORMATS:
+            raise JournalError(f"journal format must be one of {FORMATS}")
         self.path = Path(path)
         self.checkpoint_every = checkpoint_every
         self.fsync = fsync
         self.classify = classify
+        self.format = format
+        self._frame_record = _frame if format == 1 else _frame2
         self._file = None
         self._lock = threading.Lock()
         self._seq = 0
@@ -248,7 +530,7 @@ class JournalWriter:
         with self._lock:
             if self._file is not None:
                 raise JournalError(f"journal {self.path} already open")
-            self._meta = {"version": FORMAT_VERSION, **meta}
+            self._meta = {"version": self.format, **meta}
             self._checkpoint_locked(store)
 
     def close(self, store: Optional[SampleStore] = None) -> None:
@@ -268,7 +550,7 @@ class JournalWriter:
         with self._lock:
             self._require_open()
             self._meta.update(fields)
-            self._emit(_frame({"kind": "meta", **fields}))
+            self._emit(self._frame_record({"kind": "meta", **fields}))
 
     def record_period(self, store: SampleStore, tick: float) -> None:
         """Journal one committed period; every Nth becomes a checkpoint.
@@ -283,7 +565,7 @@ class JournalWriter:
             if self._seq % self.checkpoint_every == 0:
                 self._checkpoint_locked(store, tick=tick)
                 return
-            self._emit(_frame(self._period_record(store, tick)))
+            self._emit(self._frame_record(self._period_record(store, tick)))
 
     def note(self, tick: float, collector: str, reason: str) -> None:
         """Durable out-of-band diagnostic; touches no store state.
@@ -295,7 +577,7 @@ class JournalWriter:
         with self._lock:
             self._require_open()
             self._emit(
-                _frame(
+                self._frame_record(
                     {
                         "kind": "note",
                         "tick": tick,
@@ -347,8 +629,8 @@ class JournalWriter:
         with open(tmp, "wb") as handle:
             # meta + snapshot coalesced: one write, at most one fsync
             handle.write(
-                _frame({"kind": "meta", **self._meta})
-                + _frame(self._snapshot_record(store, tick))
+                self._frame_record({"kind": "meta", **self._meta})
+                + self._frame_record(self._snapshot_record(store, tick))
             )
             handle.flush()
             if self.fsync:
@@ -387,12 +669,13 @@ class JournalWriter:
     def _snapshot_record(
         self, store: SampleStore, tick: Optional[float]
     ) -> dict:
+        binary = self.format == 2
         state: dict = {
             "keep_series": store.keep_series,
             "max_rows": store.max_rows,
             "summary_rows": store.summary_rows,
             **_identity_state(store),
-            "mem": _series_state(store.mem_series),
+            "mem": _series_state(store.mem_series, binary=binary),
             "ledger": _ledger_state(
                 store.ledger,
                 since=store.ledger.total_events - len(store.ledger.events),
@@ -400,7 +683,7 @@ class JournalWriter:
         }
         for family, mapping in self._series_maps(store):
             state[family] = {
-                str(key): _series_state(series)
+                str(key): _series_state(series, binary=binary)
                 for key, series in mapping.items()
             }
         return {
@@ -414,21 +697,23 @@ class JournalWriter:
     def _series_delta(
         self, family: str, key: int, series: SeriesBuffer, keep_series: bool
     ) -> Optional[dict]:
+        binary = self.format == 2
         cursor = self._cursors.get((family, key), 0)
         new = series.appended - cursor
         self._cursors[(family, key)] = series.appended
         if not keep_series:
             # summary mode refreshes rows in place without appending, so
             # the delta is the whole (<= summary_rows) series every time
-            return {"replace": True, **_series_state(series)}
+            return {"replace": True, **_series_state(series, binary=binary)}
         if new <= 0:
             return None
         if new > len(series):
             # the ring overwrote rows the cursor never saw: replace
-            return {"replace": True, **_series_state(series)}
+            return {"replace": True, **_series_state(series, binary=binary)}
+        rows = series.array[-new:]
         return {
             "columns": list(series.columns),
-            "rows": series.array[-new:].tolist(),
+            "rows": rows if binary else rows.tolist(),
             "appended": series.appended,
         }
 
@@ -459,22 +744,71 @@ class JournalWriter:
 
 
 # -- recovery ---------------------------------------------------------------
+def _parse_frame(data: bytes, pos: int) -> Optional[tuple[dict, int]]:
+    """Decode the frame starting at ``pos``; ``None`` if torn/corrupt.
+
+    Works on byte offsets, not lines: a ZSJ2 body is binary and may
+    contain newline bytes, so the file cannot be split on ``\\n``.
+    The header (magic, length, CRC) is ASCII either way, and the
+    declared length walks the parser past the body to the terminator.
+    """
+    magic = data[pos: pos + 4]
+    if (magic != _MAGIC and magic != _MAGIC2) or data[pos + 4: pos + 5] != b" ":
+        return None
+    len_end = data.find(b" ", pos + 5)
+    if len_end < 0:
+        return None
+    crc_end = data.find(b" ", len_end + 1)
+    if crc_end < 0:
+        return None
+    try:
+        length = int(data[pos + 5: len_end])
+        crc = int(data[len_end + 1: crc_end], 16)
+    except ValueError:
+        return None
+    if length < 0:
+        return None
+    body = data[crc_end + 1: crc_end + 1 + length]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    end = crc_end + 1 + length
+    if data[end: end + 1] not in (b"\n", b""):
+        return None  # frame not terminated where its length said
+    if magic == _MAGIC:
+        try:
+            record = json.loads(body.decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
+    else:
+        record = _decode_body(body)
+    if not isinstance(record, dict):
+        return None
+    return record, end + 1
+
+
 def read_journal(path: str | Path) -> tuple[list[dict], int]:
-    """All decodable records, plus the count of discarded torn lines.
+    """All decodable records, plus the count of discarded torn records.
 
     Decoding stops at the first bad frame: everything after a tear is
     unordered debris by definition (the writer is strictly
     append-then-rename), so it is counted and discarded, never parsed.
+    The torn count is the number of frame headers visible in the
+    debris (at least one — the tear itself).
     """
     data = Path(path).read_bytes()
     records: list[dict] = []
-    lines = data.split(b"\n")
-    for index, line in enumerate(lines):
-        if not line:
+    pos = 0
+    size = len(data)
+    while pos < size:
+        if data[pos] == 0x0A:  # blank line / frame terminator
+            pos += 1
             continue
-        record = _unframe(line)
-        if record is None:
-            return records, sum(1 for rest in lines[index:] if rest)
+        parsed = _parse_frame(data, pos)
+        if parsed is None:
+            rest = data[pos:]
+            torn = rest.count(_MAGIC + b" ") + rest.count(_MAGIC2 + b" ")
+            return records, max(1, torn)
+        record, pos = parsed
         records.append(record)
     return records, 0
 

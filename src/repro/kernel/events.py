@@ -48,20 +48,18 @@ class WaitObject:
         return False
 
     # -- waking ---------------------------------------------------------------
-    def _wake(self, kernel: "SimKernel", lwp: "LWP") -> None:
-        kernel.wake(lwp)
-
     def wake_all(self, kernel: "SimKernel") -> None:
         """Wake every waiter, FIFO order."""
-        while self._waiters:
-            self._wake(kernel, self._waiters.popleft())
+        waiters = self._waiters
+        while waiters:
+            kernel.wake(waiters.popleft())
 
     def wake_one(self, kernel: "SimKernel") -> Optional["LWP"]:
         """Wake the oldest waiter, if any."""
         if not self._waiters:
             return None
         lwp = self._waiters.popleft()
-        self._wake(kernel, lwp)
+        kernel.wake(lwp)
         return lwp
 
     def __repr__(self) -> str:

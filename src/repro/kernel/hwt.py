@@ -32,9 +32,9 @@ class HWTState:
         "os_index",
         "runqueue",
         "_current",
-        "user",
+        "_user",
         "nice",
-        "system",
+        "_system",
         "iowait",
         "irq",
         "softirq",
@@ -42,6 +42,8 @@ class HWTState:
         "busy_prev",
         "node",
         "_active",
+        "_acct",
+        "_acct_slot",
     )
 
     def __init__(self, os_index: int, node: Optional["SimNode"] = None):
@@ -57,12 +59,17 @@ class HWTState:
         #: runnable LWPs waiting for this CPU (excludes ``current``)
         self.runqueue: deque["LWP"] = deque()
         self._current: Optional["LWP"] = None
-        self.user: float = 0.0
+        self._user: float = 0.0
         self.nice: float = 0.0
-        self.system: float = 0.0
+        self._system: float = 0.0
         self.iowait: float = 0.0
         self.irq: float = 0.0
         self.softirq: float = 0.0
+        #: batched-accounting enrollment (see repro.kernel.soa); while
+        #: set, ``_user``/``_system`` live in the arrays and any access
+        #: through the public properties evicts this CPU first
+        self._acct = None
+        self._acct_slot: int = -1
 
     # -- active-set bookkeeping -------------------------------------------
     def _activate(self) -> None:
@@ -75,7 +82,7 @@ class HWTState:
         if self._active and self._current is None and not self.runqueue:
             self._active = False
             if self.node is not None:
-                self.node.active_cpus.discard(self.os_index)
+                self.node._cpu_deactivated(self.os_index)
 
     @property
     def current(self) -> Optional["LWP"]:
@@ -84,11 +91,39 @@ class HWTState:
 
     @current.setter
     def current(self, lwp: Optional["LWP"]) -> None:
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
         self._current = lwp
         if lwp is not None:
             self._activate()
         else:
             self._deactivate_if_idle()
+
+    @property
+    def user(self) -> float:
+        """User jiffies (evicts this CPU from the batch path first)."""
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
+        return self._user
+
+    @user.setter
+    def user(self, value: float) -> None:
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
+        self._user = value
+
+    @property
+    def system(self) -> float:
+        """System jiffies (evicts this CPU from the batch path first)."""
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
+        return self._system
+
+    @system.setter
+    def system(self, value: float) -> None:
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
+        self._system = value
 
     @property
     def nr_running(self) -> int:
@@ -107,11 +142,15 @@ class HWTState:
 
     def charge_busy(self, user_frac: float) -> None:
         """Account one busy jiffy split between user and system."""
-        self.user += user_frac
-        self.system += 1.0 - user_frac
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
+        self._user += user_frac
+        self._system += 1.0 - user_frac
 
     def enqueue(self, lwp: "LWP", front: bool = False) -> None:
         """Queue a runnable thread on this CPU."""
+        if self._acct is not None:
+            self._acct.evict_hwt(self)
         if front:
             self.runqueue.appendleft(lwp)
         else:

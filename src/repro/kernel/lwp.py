@@ -95,15 +95,20 @@ class LWP:
         self.wake_tick: Optional[int] = None  # timer deadline while sleeping
 
         # -- accounting (float jiffies; floored at the procfs boundary) --
-        self.utime: float = 0.0
-        self.stime: float = 0.0
+        self._utime: float = 0.0
+        self._stime: float = 0.0
         self.vcsw: int = 0  # voluntary context switches
         self.nvcsw: int = 0  # non-voluntary context switches
         self.minflt: int = 0
         self.majflt: int = 0
         self.migrations: int = 0
         #: per-CPU jiffy histogram (for contention analysis)
-        self.cpu_jiffies: dict[int, float] = {}
+        self._cpu_jiffies: dict[int, float] = {}
+        #: batched-accounting enrollment (see repro.kernel.soa); while
+        #: set, the jiffy counters live in the node arrays and any
+        #: access through the public properties evicts this thread
+        self._acct = None
+        self._acct_slot: int = -1
 
     # -- classification ---------------------------------------------------
     def role_label(self) -> str:
@@ -141,14 +146,55 @@ class LWP:
     def blocked(self) -> bool:
         return self.state in (ThreadState.SLEEPING, ThreadState.DISK)
 
+    @property
+    def utime(self) -> float:
+        """User jiffies (evicts this thread from the batch path first)."""
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        return self._utime
+
+    @utime.setter
+    def utime(self, value: float) -> None:
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        self._utime = value
+
+    @property
+    def stime(self) -> float:
+        """System jiffies (evicts this thread from the batch path first)."""
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        return self._stime
+
+    @stime.setter
+    def stime(self, value: float) -> None:
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        self._stime = value
+
+    @property
+    def cpu_jiffies(self) -> dict[int, float]:
+        """Per-CPU jiffy histogram (evicts from the batch path first)."""
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        return self._cpu_jiffies
+
+    @cpu_jiffies.setter
+    def cpu_jiffies(self, value: dict[int, float]) -> None:
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
+        self._cpu_jiffies = value
+
     def charge(self, cpu: int, jiffies: float, user_frac: float) -> None:
         """Account one executed slice on ``cpu``."""
+        if self._acct is not None:
+            self._acct.evict_lwp(self)
         if cpu != self.last_cpu:
             self.migrations += 1
-        self.utime += jiffies * user_frac
-        self.stime += jiffies * (1.0 - user_frac)
+        self._utime += jiffies * user_frac
+        self._stime += jiffies * (1.0 - user_frac)
         self.last_cpu = cpu
-        self.cpu_jiffies[cpu] = self.cpu_jiffies.get(cpu, 0.0) + jiffies
+        self._cpu_jiffies[cpu] = self._cpu_jiffies.get(cpu, 0.0) + jiffies
 
     @property
     def total_jiffies(self) -> float:

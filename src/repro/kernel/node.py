@@ -39,8 +39,29 @@ class SimNode:
         #: activated by wakeups during the pass are also pushed here so
         #: the pass can pick them up in ascending-CPU order
         self._activation_watch: Optional[list[int]] = None
+        #: active CPUs the per-tick pass must actually visit — the
+        #: active set minus CPUs enrolled in the batched accounting
+        #: arrays (see repro.kernel.soa)
+        self.scan_cpus: set[int] = set()
+        #: the CPU the scheduling pass is currently visiting (-1 before
+        #: the first visit, None outside a pass); evictions from the
+        #: batch path consult it to replicate ascending visit order
+        self._pass_cursor: Optional[int] = None
+        #: batched accounting arrays, attached by the kernel when
+        #: vectorized accounting is enabled
+        self._acct = None
+        #: bumped whenever the set of occupied/queued CPUs changes;
+        #: part of the iowait attribution cache key
+        self._occ_epoch: int = 0
+        #: (epoch key, [HWTState]) — CPUs currently accruing iowait,
+        #: reused across ticks while the key holds
+        self._iowait_cache: Optional[tuple] = None
+        #: the machine's full PU set, computed once (the topology is
+        #: immutable after construction; spawn/affinity validation is
+        #: against this cached copy)
+        self.machine_cpuset = machine.cpuset()
         self.hwts: dict[int, HWTState] = {
-            cpu: HWTState(cpu, self) for cpu in machine.cpuset()
+            cpu: HWTState(cpu, self) for cpu in self.machine_cpuset
         }
         self.memory = MemoryAccounting(machine.memory_bytes)
         #: SMT sibling lanes per CPU (excluding the CPU itself)
@@ -56,8 +77,16 @@ class SimNode:
     def _cpu_activated(self, cpu: int) -> None:
         """Active-set registration hook (called by HWTState)."""
         self.active_cpus.add(cpu)
+        self.scan_cpus.add(cpu)
+        self._occ_epoch += 1
         if self._activation_watch is not None:
             heapq.heappush(self._activation_watch, cpu)
+
+    def _cpu_deactivated(self, cpu: int) -> None:
+        """Active-set removal hook (called by HWTState)."""
+        self.active_cpus.discard(cpu)
+        self.scan_cpus.discard(cpu)
+        self._occ_epoch += 1
 
     def hwt(self, os_index: int) -> HWTState:
         """Scheduler state for one CPU."""

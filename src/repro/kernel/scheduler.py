@@ -42,15 +42,21 @@ from repro.errors import DeadlockError, OutOfMemoryError, SchedulerError
 from repro.kernel.clock import Clock
 from repro.kernel.directives import Alloc, Call, Compute, FileIo, Free, Sleep, Wait, YieldCpu
 from repro.kernel.hwt import HWTState
+from repro.kernel.io import IoRequest
 from repro.kernel.lwp import LWP, Behavior, ThreadRole, ThreadState
 from repro.kernel.node import SimNode
 from repro.kernel.process import SimProcess
+from repro.kernel.soa import NodeAccounting
 from repro.topology.cpuset import CpuSet
 from repro.topology.objects import Machine
 
 __all__ = ["SimKernel"]
 
 _EPS = 1e-9
+#: a CPU only joins the batched accounting path while its directive has
+#: strictly more than one full tick of work left (the final partial or
+#: boundary tick needs the slow path's advance/block handling)
+_ENROLL_ABOVE = 1.0 + _EPS
 #: safety bound on instantaneous directives processed per advance
 _MAX_INSTANT = 100_000
 #: safety bound on thread switches per HWT per tick
@@ -68,6 +74,7 @@ class SimKernel:
         first_pid: int = 18300,
         smt_efficiency: float = 1.0,
         fast_forward: bool = True,
+        vector_accounting: bool = True,
     ):
         if isinstance(nodes, (Machine, SimNode)):
             nodes = [nodes]
@@ -90,6 +97,22 @@ class SimKernel:
         self.smt_efficiency = smt_efficiency
         #: allow run() to jump the clock over fully idle windows
         self.fast_forward = fast_forward
+        #: batch steady busy-CPU accounting into per-node arrays (see
+        #: repro.kernel.soa); the SMT throughput model needs sequential
+        #: per-lane scans, so it keeps the scalar path
+        self.vector_accounting = vector_accounting and smt_efficiency >= 1.0
+        for node in self.nodes:
+            # nodes may be reused across kernels: re-derive the scan set
+            # and (re)attach or clear the accounting arrays
+            node.scan_cpus = set(node.active_cpus)
+            node._acct = (
+                NodeAccounting(node, _ENROLL_ABOVE)
+                if self.vector_accounting
+                else None
+            )
+        #: bumped on every LWP state transition and affinity move; part
+        #: of the iowait attribution cache key
+        self._state_epoch = 0
         self.clock = Clock()
         self.processes: dict[int, SimProcess] = {}
         self.lwps: dict[int, LWP] = {}
@@ -128,7 +151,7 @@ class SimKernel:
             node = self.nodes[node]
         if not cpuset:
             raise SchedulerError("process cpuset must not be empty")
-        if not cpuset.issubset(node.machine.cpuset()):
+        if not cpuset.issubset(node.machine_cpuset):
             raise SchedulerError(
                 f"cpuset {cpuset.to_list()} not contained in node CPUs"
             )
@@ -202,6 +225,7 @@ class SimKernel:
         self, lwp: LWP, old: ThreadState, new: ThreadState
     ) -> None:
         """LWP state-setter hook: keep the O(1) counters current."""
+        self._state_epoch += 1
         if not lwp.daemon:
             dead = (ThreadState.ZOMBIE, ThreadState.DEAD)
             was_alive = old not in dead
@@ -239,13 +263,24 @@ class SimKernel:
     # ------------------------------------------------------------------
     def wake(self, lwp: LWP, preempt: bool = True) -> None:
         """Make a blocked LWP runnable again (event fired, message came)."""
-        if not lwp.blocked:
+        st = lwp._state
+        if st is not ThreadState.DISK and st is not ThreadState.SLEEPING:
             return
-        lwp.state = ThreadState.RUNNING
+        # inline blocked -> RUNNING when the state watcher is this
+        # kernel (both states are alive, so only two counters move)
+        if lwp._state_watcher is self:
+            lwp._state = ThreadState.RUNNING
+            self._state_epoch += 1
+            self._runnable_count += 1
+        else:
+            lwp.state = ThreadState.RUNNING
         lwp.wake_tick = None
         node = lwp.process.node
-        cpu = self._select_wake_cpu(lwp)
-        hwt = node.hwt(cpu)
+        # common case inlined: the previous CPU is idle, take it
+        cpu = lwp.cur_cpu
+        if cpu is None or cpu in node.active_cpus or cpu not in lwp.affinity:
+            cpu = self._select_wake_cpu(lwp)
+        hwt = node.hwts[cpu]
         hwt.enqueue(lwp, front=True)
         if preempt:
             hwt.preempt_pending = True
@@ -278,11 +313,14 @@ class SimKernel:
         if not cpuset:
             raise SchedulerError("affinity must not be empty")
         node = lwp.process.node
-        if not cpuset.issubset(node.machine.cpuset()):
+        if not cpuset.issubset(node.machine_cpuset):
             raise SchedulerError(
                 f"affinity {cpuset.to_list()} not contained in node CPUs"
             )
         lwp.affinity = cpuset
+        # a blocked thread's wake CPU can change below without any state
+        # transition: invalidate the iowait attribution cache
+        self._state_epoch += 1
         if lwp.cur_cpu is None or lwp.cur_cpu in cpuset:
             return
         old = node.hwt(lwp.cur_cpu)
@@ -312,8 +350,8 @@ class SimKernel:
     def _current_hwt(self, lwp: LWP) -> Optional[HWTState]:
         if lwp.cur_cpu is None:
             return None
-        hwt = lwp.process.node.hwt(lwp.cur_cpu)
-        return hwt if hwt.current is lwp else None
+        hwt = lwp.process.node.hwts[lwp.cur_cpu]
+        return hwt if hwt._current is lwp else None
 
     def _release_cpu(self, lwp: LWP) -> None:
         hwt = self._current_hwt(lwp)
@@ -339,19 +377,23 @@ class SimKernel:
 
     def _block_io(self, lwp: LWP, directive: FileIo) -> None:
         """Issue a filesystem transfer and sleep uninterruptibly."""
-        from repro.kernel.io import IoRequest
-
-        node = lwp.process.node
+        proc = lwp.process
         request = IoRequest(
             nbytes=directive.nbytes, write=directive.write, lwp=lwp
         )
-        lwp.process.write_syscalls += 1 if directive.write else 0
-        lwp.process.read_syscalls += 0 if directive.write else 1
-        done = node.io.submit(self, request)
-        lwp.state = ThreadState.DISK
+        if directive.write:
+            proc.write_syscalls += 1
+        else:
+            proc.read_syscalls += 1
+        proc.node.io.start(self, request)
+        # inline RUNNING -> DISK (the state watcher is this kernel and
+        # both states are alive, so only these two counters move)
+        lwp._state = ThreadState.DISK
+        self._state_epoch += 1
+        self._runnable_count -= 1
         lwp.vcsw += 1
         lwp.current_directive = None
-        done.add_waiter(lwp)
+        request.waiter = lwp
         self._release_cpu(lwp)
 
     def _exit_lwp(self, lwp: LWP) -> None:
@@ -367,7 +409,7 @@ class SimKernel:
             t.alive and not t.daemon for t in proc.threads.values()
         ):
             proc.exit_code = 0
-            for t in proc.threads.values():
+            for t in list(proc.threads.values()):
                 if t.alive:
                     self._kill_thread(t)
             self._reap_process(proc)
@@ -393,7 +435,7 @@ class SimKernel:
         wasting of allocation resources"."""
         if proc.exit_code is None:
             proc.exit_code = exit_code
-        for t in proc.threads.values():
+        for t in list(proc.threads.values()):
             if t.alive:
                 self._kill_thread(t)
         self._reap_process(proc)
@@ -405,7 +447,7 @@ class SimKernel:
         self.crashes.append((self.clock.tick, lwp, exc))
         proc = lwp.process
         proc.exit_code = 139
-        for t in proc.threads.values():
+        for t in list(proc.threads.values()):
             if t.alive:
                 self._kill_thread(t)
         self._reap_process(proc)
@@ -446,6 +488,9 @@ class SimKernel:
                     continue
                 lwp.current_directive = directive
                 return
+            if isinstance(directive, FileIo):
+                self._block_io(lwp, directive)
+                return
             if isinstance(directive, Sleep):
                 if directive.ticks <= 0:
                     continue
@@ -455,9 +500,6 @@ class SimKernel:
                 if directive.obj.ready(lwp):
                     continue
                 self._block_wait(lwp, directive)
-                return
-            if isinstance(directive, FileIo):
-                self._block_io(lwp, directive)
                 return
             if isinstance(directive, YieldCpu):
                 lwp.vcsw += 1
@@ -505,7 +547,10 @@ class SimKernel:
             node.memory.oom_events.append((self.clock.tick, lwp.process.pid))
             lwp.process.oom_killed = True
             lwp.process.exit_code = 137
-            for t in lwp.process.threads.values():
+            # snapshot: _kill_thread scrubs scheduler structures and a
+            # state watcher may react by spawning/reaping — never mutate
+            # the dict being iterated
+            for t in list(lwp.process.threads.values()):
                 if t.alive and t is not lwp:
                     self._kill_thread(t)
             raise
@@ -555,19 +600,22 @@ class SimKernel:
                     self._schedule_hwt(node, hwt)
                     hwt.busy_prev = hwt.current is not None
                 continue
-            if not node.active_cpus:
-                continue
-            self._schedule_active(node)
+            if node.scan_cpus:
+                self._schedule_active(node)
+            acct = node._acct
+            if acct is not None:
+                # batched tick for enrolled CPUs, then enroll this
+                # pass's candidates (never both in the same jiffy)
+                if acct.n:
+                    acct.tick()
+                if acct.pending:
+                    acct.process_pending()
 
         # 5. iowait: a CPU whose last occupant is blocked on I/O and
         # which sits otherwise empty accrues iowait instead of idle
         for node in self.nodes:
-            if not node.io.inflight:
-                continue
-            for cpu in node.io.waiting_cpus():
-                hwt = node.hwts.get(cpu)
-                if hwt is not None and hwt.current is None and not hwt.runqueue:
-                    hwt.iowait += 1.0
+            if node.io.inflight:
+                self._accrue_iowait(node, 1.0)
 
         # 6. external observers
         for hook in self.on_tick:
@@ -579,6 +627,47 @@ class SimKernel:
         if self.lb_interval > 0 and self.clock.tick % self.lb_interval == 0:
             self._balance()
 
+    def _accrue_iowait(self, node: SimNode, amount: float) -> None:
+        """Add ``amount`` iowait jiffies to every eligible CPU.
+
+        The eligible set only changes when the in-flight set, CPU
+        occupancy, or thread states/affinities do, so it is cached under
+        an epoch key and reused across steady blocked-heavy windows.
+        ``amount`` may batch several ticks: iowait only ever grows by
+        whole jiffies, so ``+= k`` equals ``k`` additions of ``1.0``
+        bit-for-bit.
+        """
+        io = node.io
+        key = (io.epoch, node._occ_epoch, self._state_epoch)
+        cache = node._iowait_cache
+        if cache is not None and cache[0] == key:
+            targets = cache[1]
+        else:
+            # inline equivalent of filtering io.waiting_cpus() through
+            # the occupancy test — one pass over the in-flight list,
+            # no intermediate set, no property dispatch
+            hwts = node.hwts
+            targets = []
+            seen: set[int] = set()
+            sleeping = ThreadState.SLEEPING
+            disk = ThreadState.DISK
+            for request in io.inflight:
+                lwp = request.lwp
+                cpu = lwp.cur_cpu
+                if cpu is None or cpu in seen:
+                    continue
+                st = lwp._state
+                if st is not disk and st is not sleeping:
+                    continue
+                seen.add(cpu)
+                hwt = hwts.get(cpu)
+                if hwt is not None and hwt._current is None \
+                        and not hwt.runqueue:
+                    targets.append(hwt)
+            node._iowait_cache = (key, targets)
+        for hwt in targets:
+            hwt.iowait += amount
+
     def _schedule_active(self, node: SimNode) -> None:
         """One scheduling pass over the node's active CPUs, ascending.
 
@@ -587,9 +676,13 @@ class SimKernel:
         walk if they lie ahead of the cursor — the same set of CPUs a
         full ascending scan over ``node.hwts`` would have scheduled.
         """
-        order = sorted(node.active_cpus)
+        # enrolled CPUs (batched accounting) are excluded from the walk;
+        # evictions behind the cursor replay their tick scalar-side, and
+        # evictions ahead of it land on the watch heap like activations
+        order = sorted(node.scan_cpus)
         pending: list[int] = []
         node._activation_watch = pending
+        node._pass_cursor = -1
         try:
             i = 0
             last = -1
@@ -607,12 +700,14 @@ class SimKernel:
                         continue  # already visited via the watch heap
                     cpu = nxt
                 last = cpu
+                node._pass_cursor = cpu
                 hwt = node.hwts[cpu]
                 if hwt.current is None and not hwt.runqueue:
                     continue  # deactivated since the snapshot
                 self._schedule_hwt(node, hwt)
         finally:
             node._activation_watch = None
+            node._pass_cursor = None
 
     def _schedule_hwt(self, node: SimNode, hwt: HWTState) -> None:
         # preemption decision at the tick boundary; the wake/fork preempt
@@ -632,14 +727,20 @@ class SimKernel:
 
         budget = 1.0
         for _ in range(_MAX_SWITCHES_PER_TICK):
-            cur = hwt.current
+            cur = hwt._current
             if cur is None:
                 if not hwt.runqueue:
-                    return  # remaining budget counts as (derived) idle
-                cur = hwt.pop_next()
+                    # remaining budget counts as (derived) idle; a dead
+                    # thread drained above may have emptied the CPU
+                    hwt._deactivate_if_idle()
+                    return
+                # dispatch without the transient deactivate/reactivate
+                # the pop_next + current-setter pair would perform (the
+                # CPU had queued work, so it stays active throughout)
+                cur = hwt.runqueue.popleft()
                 if not cur.runnable:  # killed while queued
                     continue
-                hwt.current = cur
+                hwt._current = cur
                 cur.cur_cpu = hwt.os_index
                 cur.slice_left = self.timeslice
             if cur.current_directive is None:
@@ -655,10 +756,13 @@ class SimKernel:
                 siblings = node.smt_siblings.get(hwt.os_index, ())
                 if any(node.hwts[s].busy_prev for s in siblings):
                     rate = self.smt_efficiency
+            user_frac = directive.user_frac
             use = min(budget, directive.remaining / rate)
-            cur.charge(hwt.os_index, use, directive.user_frac)
-            hwt.user += use * directive.user_frac
-            hwt.system += use * (1.0 - directive.user_frac)
+            cur.charge(hwt.os_index, use, user_frac)
+            # a CPU being visited is never enrolled in the batch path,
+            # so its counters can be written directly
+            hwt._user += use * user_frac
+            hwt._system += use * (1.0 - user_frac)
             directive.remaining -= use * rate
             budget -= use
             if directive.remaining <= _EPS:
@@ -671,6 +775,18 @@ class SimKernel:
             if budget <= _EPS:
                 if hwt.current is cur:
                     cur.slice_left -= 1
+                    acct = node._acct
+                    if (
+                        acct is not None
+                        and rate == 1.0
+                        and not hwt.runqueue
+                        and not hwt.preempt_pending
+                        and cur.current_directive is not None
+                        and cur.current_directive.remaining > _ENROLL_ABOVE
+                    ):
+                        # steady solo compute: candidate for the batched
+                        # accounting path from the next tick on
+                        acct.pending.append((hwt, cur, cur.current_directive))
                 return
         raise SchedulerError(
             f"CPU {hwt.os_index} switched threads {_MAX_SWITCHES_PER_TICK} "
@@ -701,8 +817,29 @@ class SimKernel:
             if not heap:
                 continue
             heapq.heapify(heap)
-            idle_cpus = [h for h in hwts.values() if h.nr_running == 0]
-            for idle in idle_cpus:
+            # only idle CPUs some queued candidate is allowed to run on
+            # are worth visiting; scanning any other idle CPU finds no
+            # movable thread and has no observable effect.  Stolen
+            # threads re-enter the donor order with the same affinities,
+            # so the union over the initial candidates covers every
+            # candidate this round will ever hold.
+            movable = 0
+            for _, cpu in heap:
+                for cand in hwts[cpu].runqueue:
+                    movable |= cand.affinity.mask
+            if not movable:
+                continue
+            # idle snapshot up front, as before: a CPU fed by an earlier
+            # steal this round keeps its slot in the visit order
+            idle_mask = 0
+            for cpu, h in hwts.items():
+                if h.nr_running == 0:
+                    idle_mask |= 1 << cpu
+            idle_mask &= movable
+            while idle_mask:
+                low_bit = idle_mask & -idle_mask
+                idle_mask ^= low_bit
+                idle = hwts[low_bit.bit_length() - 1]
                 stolen = None
                 kept: list[tuple[int, int]] = []  # popped, still donors
                 while heap:
@@ -756,9 +893,9 @@ class SimKernel:
             return False
         if self._sleepers or self._timers:
             return False
-        if any(dev.pending_kernels for node in self.nodes for dev in node.gpus):
-            return False
         if any(node.io.inflight for node in self.nodes):
+            return False
+        if any(dev.pending_kernels for node in self.nodes for dev in node.gpus):
             return False
         return True
 
@@ -800,6 +937,65 @@ class SimKernel:
                 for hwt in node.hwts.values():
                     hwt.busy_prev = False
         self.clock.advance(delta)
+
+    def _io_drain_ticks(self, cap: int) -> int:
+        """Length of the pure-I/O-drain window starting at the current
+        tick: jiffies during which the only state changes are bandwidth
+        drain, iowait accrual and idle GPU sensor decay.
+
+        Zero when any CPU or device work exists, when nothing is in
+        flight, or when a completion / sleeper / timer lands on the very
+        next tick (that tick must be stepped so the wakeup runs the full
+        scheduling pass).
+        """
+        if self._runnable_count > 0:
+            return 0
+        any_io = False
+        for node in self.nodes:
+            if node.active_cpus:
+                return 0
+            for dev in node.gpus:
+                if dev.pending_kernels:
+                    return 0
+            if node.io.inflight:
+                any_io = True
+        if not any_io:
+            return 0
+        now = self.clock.tick
+        horizon = cap - now
+        nxt = self._next_event_tick()
+        if nxt is not None:
+            horizon = min(horizon, nxt - now)
+        if horizon < 1:
+            return 0
+        # a completion one past the horizon no longer binds, hence +1
+        ticks = horizon + 1
+        for node in self.nodes:
+            if node.io.inflight:
+                ticks = min(ticks, node.io.ticks_until_completion(now, ticks))
+        # the completion tick itself is left to step()
+        return min(ticks - 1, horizon)
+
+    def _io_fast_forward(self, ticks: int) -> None:
+        """Advance ``ticks`` jiffies of a pure I/O-drain window.
+
+        Bit-identical to stepping them: the same sequential bandwidth
+        subtractions (batched on locals by ``IoSubsystem.drain``), the
+        same whole-jiffy iowait additions, and tick-exact idle GPU
+        sensor decay.  Only legal after :meth:`_io_drain_ticks`
+        guaranteed nothing completes or fires within the window.
+        """
+        for node in self.nodes:
+            for dev in node.gpus:
+                dev.idle_fast_forward(ticks)
+            if self.smt_efficiency < 1.0:
+                # a stepped idle tick clears the SMT busy-prev flags
+                for hwt in node.hwts.values():
+                    hwt.busy_prev = False
+            if node.io.inflight:
+                node.io.drain(ticks)
+                self._accrue_iowait(node, float(ticks))
+        self.clock.advance(ticks)
 
     def run(
         self,
@@ -855,11 +1051,18 @@ class SimKernel:
                         f"blocked LWPs: {blocked}"
                     )
                 break
-            if may_jump and not self.on_tick and self._quiescent():
-                target = self._next_event_tick()
-                if target is not None and target > self.clock.tick:
-                    self._fast_forward_to(min(target, cap))
-                    continue
+            if may_jump and not self.on_tick:
+                if self._quiescent():
+                    target = self._next_event_tick()
+                    if target is not None and target > self.clock.tick:
+                        self._fast_forward_to(min(target, cap))
+                        continue
+                else:
+                    # everyone blocked on I/O: batch the drain window
+                    skip = self._io_drain_ticks(cap)
+                    if skip > 0:
+                        self._io_fast_forward(skip)
+                        continue
             self.step()
         return self.clock.tick - start
 

@@ -21,7 +21,7 @@ __all__ = ["CpuSet"]
 class CpuSet:
     """Immutable, ordered set of CPU (hardware thread) OS indexes."""
 
-    __slots__ = ("_cpus",)
+    __slots__ = ("_cpus", "_set", "_mask")
 
     def __init__(self, cpus: Iterable[int] = ()):
         seen = set()
@@ -31,6 +31,8 @@ class CpuSet:
                 raise CpuSetError(f"negative CPU index: {c}")
             seen.add(c)
         self._cpus: tuple[int, ...] = tuple(sorted(seen))
+        self._set: frozenset[int] = frozenset(self._cpus)
+        self._mask: int | None = None
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -161,7 +163,18 @@ class CpuSet:
         return len(self._cpus)
 
     def __contains__(self, cpu: object) -> bool:
-        return cpu in self._cpus
+        return cpu in self._set
+
+    @property
+    def mask(self) -> int:
+        """The set as an integer bitmask (bit ``c`` set for CPU ``c``)."""
+        mask = self._mask
+        if mask is None:
+            mask = 0
+            for c in self._cpus:
+                mask |= 1 << c
+            self._mask = mask
+        return mask
 
     def __bool__(self) -> bool:
         return bool(self._cpus)

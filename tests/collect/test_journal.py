@@ -6,7 +6,10 @@ from tests.helpers import run_miniqmc
 from repro.collect import CollectionEngine, SampleStore
 from repro.collect.journal import (
     JournalWriter,
+    _decode_body,
+    _encode_body,
     _frame,
+    _frame2,
     _unframe,
     read_journal,
     recover_journal,
@@ -96,6 +99,111 @@ class TestFraming:
         # the record after the tear is unordered debris: counted, not parsed
         assert [r["kind"] for r in records] == ["meta", "snapshot"]
         assert torn == 2
+
+
+class TestBinaryCodec:
+    """ZSJ2: packed frames decode to exactly what JSON would produce."""
+
+    PAYLOADS = [
+        {"kind": "note", "tick": 1.5, "reason": "x"},
+        {"kind": "meta", "pid": 100, "rank": None, "flag": True,
+         "neg": -12345, "big": 1 << 80, "zero": 0, "off": False},
+        {"kind": "period", "series": {"lwp": {"100": {
+            "columns": ["tick", "utime"],
+            "rows": [[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]],
+            "appended": 3,
+        }}}, "ragged": [[1.0], [2.0, 3.0]], "mixed": [1, 2.0, "s", None]},
+        {"kind": "snapshot", "empty_rows": [], "empty_map": {},
+         "unicode": "nöde-0 → ✓"},
+    ]
+
+    def test_body_round_trip(self):
+        for payload in self.PAYLOADS:
+            assert _decode_body(_encode_body(payload)) == payload
+
+    def test_frame2_round_trip_through_read_journal(self, tmp_path):
+        path = tmp_path / "j.zsj"
+        path.write_bytes(b"".join(_frame2(p) for p in self.PAYLOADS))
+        records, torn = read_journal(path)
+        assert torn == 0
+        assert records == self.PAYLOADS
+
+    def test_matrix_block_matches_json_decode(self):
+        # series rows take the packed-matrix path; recovery must see
+        # the identical list-of-lists the JSON codec yields
+        payload = {"rows": [[1.0, 2.5, -0.0], [float("inf"), 1e-300, 3.0]]}
+        import json
+
+        via_json = json.loads(json.dumps(payload))
+        via_zsj2 = _decode_body(_encode_body(payload))
+        assert via_zsj2 == via_json
+        assert all(
+            a.hex() == b.hex()
+            for ra, rb in zip(via_zsj2["rows"], via_json["rows"])
+            for a, b in zip(ra, rb)
+        )
+
+    def test_binary_body_may_contain_newlines(self, tmp_path):
+        # 0x0A bytes inside a packed body must not split the frame
+        payload = {"kind": "note", "tick": 10.0,
+                   "reason": "line one\nline two\nline three"}
+        path = tmp_path / "j.zsj"
+        body = _frame2(payload)
+        assert b"\n" in body[:-1]  # the tear case this guards against
+        path.write_bytes(body + _frame2({"kind": "meta"}))
+        records, torn = read_journal(path)
+        assert torn == 0
+        assert records == [payload, {"kind": "meta"}]
+
+    def test_invalid_format_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            JournalWriter(tmp_path / "j.zsj", format=3)
+
+
+class TestMixedFormats:
+    """An upgraded writer appending ZSJ2 to a ZSJ1 journal."""
+
+    def test_zsj1_journal_with_zsj2_tail_recovers(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False, format=1)
+        writer.open(store, META)
+        drive(store, writer, [1.0, 2.0, 3.0])
+        # the writer is upgraded mid-run: subsequent frames are binary
+        writer.format = 2
+        writer._frame_record = _frame2
+        drive(store, writer, [4.0, 5.0, 6.0])
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert recovered.torn_records == 0
+        assert_stores_equal(store, recovered.store)
+
+    def test_zsj2_journal_with_legacy_zsj1_note(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=100,
+                               fsync=False)
+        writer.open(store, META)
+        drive(store, writer, [1.0, 2.0])
+        with open(tmp_path / "j.zsj", "ab") as handle:
+            handle.write(_frame({"kind": "note", "tick": 2.0,
+                                 "collector": "Legacy", "reason": "old"}))
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert recovered.torn_records == 0
+        assert any(e.collector == "Legacy"
+                   for e in recovered.store.ledger.events)
+
+    def test_legacy_format_round_trip(self, tmp_path):
+        store = SampleStore()
+        writer = JournalWriter(tmp_path / "j.zsj", checkpoint_every=4,
+                               fsync=False, format=1)
+        writer.open(store, META)
+        drive(store, writer, [float(t) for t in range(1, 11)])
+        writer.close(store)
+        # every frame on disk is JSON-framed
+        data = (tmp_path / "j.zsj").read_bytes()
+        assert data.count(b"ZSJ2 ") == 0 and data.startswith(b"ZSJ1 ")
+        recovered = recover_journal(tmp_path / "j.zsj")
+        assert_stores_equal(store, recovered.store)
+        assert recovered.torn_records == 0
 
 
 class TestRoundTrip:
@@ -273,6 +381,21 @@ class TestTornTail:
         # everything before the tear replays: one period at most is lost
         assert recovered.store.prev_tick >= 4.0
         recovered.report().render()  # and the report still builds
+
+    def test_torn_binary_record_is_skipped(self, tmp_path):
+        # tear a ZSJ2 frame mid-body (by byte count, not line split:
+        # binary bodies may contain newlines)
+        store, path = self._journal(tmp_path)
+        whole = path.read_bytes()
+        assert whole.startswith(b"ZSJ2 ")
+        path.write_bytes(whole[:-20])
+        recovered = recover_journal(path)
+        assert recovered.torn_records == 1
+        assert any(
+            "torn trailing record" in e.reason
+            for e in recovered.store.ledger.events
+        )
+        assert recovered.store.prev_tick >= 4.0
 
     def test_garbage_tail_is_skipped(self, tmp_path):
         _, path = self._journal(tmp_path)

@@ -127,3 +127,58 @@ class TestProcessMemory:
         proc = kernel.spawn_process(kernel.nodes[0], CpuSet([0]), gen())
         kernel.run()
         assert kernel.nodes[0].memory.oom_events[0][1] == proc.pid
+
+    def test_oom_kill_with_many_live_sibling_threads(self):
+        """Regression: the OOM kill loop iterates the victim's thread
+        dict while _kill_thread fires the state watcher — a watcher
+        that reaps dead threads from the dict (as runtime models may)
+        must not blow up the iteration, and every sibling must die."""
+        from repro.kernel import FileIo, Sleep
+
+        class ReapingKernel(SimKernel):
+            # auto-reap dead threads from their process, the way a
+            # watcher-driven runtime model reacts to thread death
+            def on_state_change(self, lwp, old, new):
+                super().on_state_change(lwp, old, new)
+                if not lwp.alive:
+                    lwp.process.threads.pop(lwp.tid, None)
+
+        machine = generic_node(cores=4, memory_bytes=1 * GIB)
+        kernel = ReapingKernel(machine)
+
+        def allocator():
+            yield Compute(5)
+            for _ in range(10):
+                yield Alloc(512 * MIB)
+                yield Compute(1)
+
+        def computer():
+            yield Compute(1000)
+
+        def sleeper():
+            for _ in range(100):
+                yield Compute(1)
+                yield Sleep(20)
+
+        def io_worker():
+            for _ in range(100):
+                yield Compute(1)
+                yield FileIo(64 << 20)
+
+        proc = kernel.spawn_process(
+            kernel.nodes[0], CpuSet.range(0, 3), allocator()
+        )
+        # more live threads than CPUs: running, queued, sleeping, and
+        # blocked-on-I/O siblings all present when the OOM fires
+        for gen in (computer, computer, computer, sleeper, io_worker):
+            kernel.spawn_thread(proc, gen())
+        survivor = kernel.spawn_process(
+            kernel.nodes[0], CpuSet([3]), (Compute(50) for _ in range(1))
+        )
+        kernel.run(max_ticks=5000)
+        assert proc.oom_killed
+        assert proc.exit_code == 137
+        assert all(not t.alive for t in proc.threads.values())
+        # the kill is contained: the other process finishes normally
+        assert survivor.exit_code == 0
+        assert not kernel.nodes[0].io.inflight

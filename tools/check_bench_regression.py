@@ -19,6 +19,15 @@ metric at a time:
   hardware; the floors, not the ratios, carry the contract.
 * ``bit_identical: false`` in a fresh result is always a failure —
   correctness is never a tolerance question.
+* **tracked bench files must exist** — every file in ``REQUIRED``
+  (the benches CI runs unconditionally) must be present among the
+  fresh results; a missing one means the bench silently did not run,
+  which is a failure, not a warning.
+* **capable hosts must enforce their floors** — a scenario that
+  reports ``host_cores >= 4`` yet carries a ``null``
+  ``floor_speedup_4workers`` skipped a gate it could have enforced;
+  that combination is a violation (it is how a stale result sneaks
+  past the speedup contract).
 
 Exit status 1 on any violation, listing every one; missing baselines
 are warnings (new benches land before their first committed numbers).
@@ -33,6 +42,14 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE_DIR = REPO / "benchmarks" / "baselines"
+
+#: bench result files CI must always produce; absence is a violation
+REQUIRED = (
+    "BENCH_scheduler.json",
+    "BENCH_sampling.json",
+    "BENCH_multirank.json",
+    "BENCH_journal.json",
+)
 
 #: metric name fragments that mean "higher is better"
 _HIGHER = ("_per_sec", "speedup", "_over_")
@@ -69,6 +86,19 @@ def check_scenario(
 
     if fresh.get("bit_identical") is False:
         problems.append(f"{where}: bit_identical is false")
+
+    host_cores = fresh.get("host_cores")
+    if (
+        isinstance(host_cores, int)
+        and host_cores >= 4
+        and "floor_speedup_4workers" in fresh
+        and fresh["floor_speedup_4workers"] is None
+    ):
+        problems.append(
+            f"{where}: floor_speedup_4workers is null on a "
+            f"{host_cores}-core host (the gate must be enforced with "
+            ">= 4 cores; the result is stale or the bench skipped it)"
+        )
 
     for key, floor in fresh.items():
         if not key.startswith("floor") or floor is None:
@@ -172,6 +202,16 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     all_problems: list[str] = []
+    if not args.fresh:
+        # default (CI) mode: every tracked bench must have produced its
+        # results file; an explicit file list is a local debugging flow
+        present = {path.name for path in fresh_files if path.exists()}
+        for name in REQUIRED:
+            if name not in present:
+                all_problems.append(
+                    f"{name}: tracked bench result missing — its bench "
+                    "did not run"
+                )
     for path in fresh_files:
         if not path.exists():
             all_problems.append(f"{path}: fresh results file missing")

@@ -61,26 +61,47 @@ class UtilizationSeries:
 
 
 def _differences(ticks: np.ndarray, *counters: np.ndarray):
+    """Per-interval deltas over strictly increasing sample ticks.
+
+    A duplicated tick (the same period journaled twice, a recovered
+    run replaying its torn tail) or a regressed one (clock skew in a
+    merged log) yields a zero- or negative-width interval.  Clamping
+    its width to one tick — the old behaviour — fabricates utilization
+    out of thin air: the counters advanced over *zero* observed time,
+    so a 100%-busy thread shows a spurious 1000%+ spike.  Instead the
+    offending rows are dropped: each kept sample must strictly exceed
+    the running maximum of the ticks kept before it, and the counter
+    deltas are taken over the kept rows only, so every reported
+    interval has positive width and honest rates.
+    """
     if len(ticks) < 2:
         raise MonitorError("need at least two samples for a time series")
-    dt = np.diff(ticks)
-    dt = np.where(dt <= 0, 1.0, dt)
-    return dt, [np.diff(c) for c in counters]
+    runmax = np.maximum.accumulate(ticks)
+    keep = np.ones(len(ticks), dtype=bool)
+    keep[1:] = ticks[1:] > runmax[:-1]
+    kept = ticks[keep]
+    if len(kept) < 2:
+        raise MonitorError(
+            "need at least two distinct sample ticks for a time series"
+        )
+    dt = np.diff(kept)
+    return kept, dt, [np.diff(c[keep]) for c in counters]
 
 
 def lwp_series(monitor, tid: int) -> UtilizationSeries:
     """Figure 6: one thread's user/system/idle over time."""
     series = monitor.lwp_series[tid]
-    arr = series.array
     ticks = series.column("tick")
-    dt, (du, ds) = _differences(ticks, series.column("utime"), series.column("stime"))
+    kept, dt, (du, ds) = _differences(
+        ticks, series.column("utime"), series.column("stime")
+    )
     user = 100.0 * du / dt
     system = 100.0 * ds / dt
     idle = np.clip(100.0 - user - system, 0.0, 100.0)
     hz = monitor.hz
     return UtilizationSeries(
         label=f"LWP {tid} ({monitor.classify(tid)})",
-        seconds=ticks[1:] / hz,
+        seconds=kept[1:] / hz,
         user_pct=user,
         system_pct=system,
         idle_pct=idle,
@@ -91,7 +112,7 @@ def hwt_series(monitor, cpu: int) -> UtilizationSeries:
     """Figure 7: one hardware thread's utilization over time."""
     series = monitor.hwt_series[cpu]
     ticks = series.column("tick")
-    dt, (du, ds, di) = _differences(
+    kept, dt, (du, ds, di) = _differences(
         ticks,
         series.column("user"),
         series.column("system"),
@@ -100,7 +121,7 @@ def hwt_series(monitor, cpu: int) -> UtilizationSeries:
     hz = monitor.hz
     return UtilizationSeries(
         label=f"CPU {cpu}",
-        seconds=ticks[1:] / hz,
+        seconds=kept[1:] / hz,
         user_pct=100.0 * du / dt,
         system_pct=100.0 * ds / dt,
         idle_pct=100.0 * di / dt,

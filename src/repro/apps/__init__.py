@@ -17,8 +17,10 @@ from repro.apps.synthetic import (
     deadlock_app,
     imbalanced_app,
     io_bound_app,
+    leak_app,
     memory_bound_app,
     oom_app,
+    oversubscribed_app,
 )
 
 __all__ = [
@@ -39,6 +41,8 @@ __all__ = [
     "io_bound_app",
     "deadlock_app",
     "oom_app",
+    "leak_app",
+    "oversubscribed_app",
     "crash_app",
     "imbalanced_app",
 ]

@@ -23,6 +23,8 @@ __all__ = [
     "memory_bound_app",
     "deadlock_app",
     "oom_app",
+    "leak_app",
+    "oversubscribed_app",
     "crash_app",
     "imbalanced_app",
     "SyntheticConfig",
@@ -101,6 +103,56 @@ def oom_app(chunk_bytes: int = 16 * 1024**3, chunks: int = 64):
             for _ in range(chunks):
                 yield Alloc(chunk_bytes)
                 yield Compute(2.0, user_frac=0.5)
+
+        return main()
+
+    return app
+
+
+def leak_app(leak_bytes: int = 8 * MIB, steps: int = 400,
+             step_jiffies: float = 2.0):
+    """The slow memory leak: a labeled precursor-evaluation scenario.
+
+    Allocates a small chunk every step and never frees, computing in
+    between, until the node's memory runs out.  The labels: the
+    *precursor* is a steady RSS climb mirrored by falling MemAvailable
+    (the online detector's ``mem-leak-oom`` shape, which should fire
+    many sampling periods early with a projected ETA); the *terminal
+    event* is the simulated kernel's OOM kill.  ``steps`` bounds the
+    run so a too-large node ends the job instead of hanging the test.
+    """
+
+    def app(ctx: RankContext) -> Behavior:
+        def main() -> Behavior:
+            for _ in range(steps):
+                yield Alloc(leak_bytes)
+                yield Compute(step_jiffies, user_frac=0.8)
+
+        return main()
+
+    return app
+
+
+def oversubscribed_app(threads: int, jiffies: float = 400.0):
+    """Deliberate thread oversubscription: a labeled eval scenario.
+
+    Spawns an OpenMP team of ``threads`` workers — callers pass more
+    than the rank's allotted CPUs — all computing flat out for
+    ``jiffies``.  The labels: the *condition* is §3.5 oversubscription
+    (more busy bound threads than hardware threads, with forced
+    time-slicing as a side effect), which the online detector should
+    raise well before the *terminal event*, the job simply ending.
+    """
+
+    def app(ctx: RankContext) -> Behavior:
+        def region(tn: int, team: int) -> Behavior:
+            yield Compute(jiffies, user_frac=0.95)
+
+        def main() -> Behavior:
+            omp = ctx.omp
+            assert omp is not None
+            yield from omp.parallel(region, num_threads=threads)
+            yield from omp.shutdown()
 
         return main()
 

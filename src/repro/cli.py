@@ -58,7 +58,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machines,
         opts,
         app,
-        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+        monitor_factory=zerosum_mpi(
+            ZeroSumConfig(detect_online=args.detect)
+        ),
         workers=args.workers,
     )
     t0 = time.time()
@@ -115,6 +117,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             journal_checkpoint_every=args.checkpoint_every,
             heartbeat_path=args.heartbeat,
             heartbeat_every=1 if args.heartbeat else 0,
+            detect_online=args.detect,
         )
     )
     monitor.start()
@@ -179,6 +182,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=1,
                    help="kernel worker processes for multi-node jobs "
                         "(1 = serial; see repro.launch.sharded)")
+    p.add_argument("--detect", action="store_true",
+                   help="online contention/precursor detection: raise "
+                        "typed alerts during the run, not post mortem")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("heatmap", help="PIC proxy communication heatmap")
@@ -198,6 +204,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="journal checkpoint period, in samples")
     p.add_argument("--heartbeat", default=None, metavar="PATH",
                    help="append heartbeat lines to PATH")
+    p.add_argument("--detect", action="store_true",
+                   help="online contention/precursor detection over "
+                        "the live samples")
     p.set_defaults(fn=_cmd_live)
 
     p = sub.add_parser(

@@ -39,6 +39,8 @@ from repro.errors import ProcessVanishedError
 
 if TYPE_CHECKING:
     from repro.collect.journal import JournalWriter
+    from repro.detect.findings import OnlineFinding
+    from repro.detect.online import OnlineDetector
 
 __all__ = ["CollectionEngine", "collector_name"]
 
@@ -61,6 +63,7 @@ class CollectionEngine:
         *,
         policy: Optional[FaultPolicy] = None,
         journal: Optional["JournalWriter"] = None,
+        detector: Optional["OnlineDetector"] = None,
     ):
         self.store = store
         self.collectors: list[Collector] = list(collectors)
@@ -68,6 +71,13 @@ class CollectionEngine:
         #: crash-durability spill journal; None runs memory-only
         self.journal = journal
         self._journal_failures = 0
+        #: online detection engine, evaluated once per committed period
+        self.detector = detector
+        if detector is not None:
+            # publish the alert ledger on the store so the report
+            # builder (and any store consumer) can read it without the
+            # store ever importing the detect package
+            store.alerts = detector.alerts
 
     def sample(self, tick: float) -> list[ThreadSnapshot]:
         """One periodic observation across all collectors.
@@ -158,8 +168,17 @@ class CollectionEngine:
             deadlock_suspected=deadlock_suspected,
         )
 
-    def commit(self, tick: float, snapshots: list[ThreadSnapshot]) -> None:
+    def commit(
+        self, tick: float, snapshots: list[ThreadSnapshot]
+    ) -> list["OnlineFinding"]:
         """Close the period: record its tick and cumulative totals.
+
+        Once the store commit lands, the online detector (when one is
+        attached) evaluates the period and its newly fired findings are
+        returned — already recorded in the store's alert ledger, and
+        spooled as durable journal notes below.  A failing detector
+        must never kill the sampler: its exception is classified and
+        contained into the degradation ledger like a collector failure.
 
         A closed period is durable-eligible: it is spooled to the spill
         journal (when one is attached) *after* the store commit, so the
@@ -169,10 +188,27 @@ class CollectionEngine:
         :data:`_JOURNAL_DISABLE_AFTER` consecutive failures.
         """
         self.store.commit(tick, snapshots)
+        findings: list["OnlineFinding"] = []
+        if self.detector is not None:
+            try:
+                findings = self.detector.observe(self.store, tick)
+            except Exception as exc:
+                failure_class = classify_failure(exc)
+                self.store.ledger.record_failure(
+                    "OnlineDetect",
+                    tick,
+                    f"{type(exc).__name__}: {exc}",
+                    failure_class,
+                )
         journal = self.journal
         if journal is None:
-            return
+            return findings
         try:
+            # alert notes first: each finding is fsynced before the
+            # period delta, so the alert that predicts a death is
+            # durable even if the period write is what dies
+            for finding in findings:
+                journal.alert(finding)
             journal.record_period(self.store, tick)
         except Exception as exc:
             self._journal_failures += 1
@@ -190,6 +226,7 @@ class CollectionEngine:
                 self.journal = None
         else:
             self._journal_failures = 0
+        return findings
 
     def close_journal(self, tick: float) -> None:
         """Final checkpoint + close of the spill journal (contained)."""

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.collect.faults import DegradationEvent, DegradationLedger
 from repro.collect.store import SampleStore
+from repro.detect.findings import AlertLedger, OnlineFinding
 from repro.core.records import SeriesBuffer
 from repro.errors import JournalError
 from repro.topology.cpuset import CpuSet
@@ -588,6 +589,31 @@ class JournalWriter:
                 sync=True,
             )
 
+    def alert(self, finding: OnlineFinding) -> None:
+        """Durable alert note: one online finding, fsynced immediately.
+
+        Alerts ride the ``note`` channel (old readers see a plain
+        diagnostic note) with the finding's full typed state attached,
+        so :func:`recover_journal` rebuilds the alert ledger
+        bit-identically: findings raised since the last checkpoint come
+        from these notes, earlier ones from the snapshot's serialized
+        ledger (checkpoints compact notes away).
+        """
+        with self._lock:
+            self._require_open()
+            self._emit(
+                self._frame_record(
+                    {
+                        "kind": "note",
+                        "tick": finding.tick,
+                        "collector": "OnlineDetect",
+                        "reason": finding.render(),
+                        "alert": finding.to_state(),
+                    }
+                ),
+                sync=True,
+            )
+
     def sync(self) -> None:
         """Flush + fsync everything appended so far (the last-gasp path)."""
         with self._lock:
@@ -681,6 +707,10 @@ class JournalWriter:
                 since=store.ledger.total_events - len(store.ledger.events),
             ),
         }
+        if store.alerts is not None:
+            # the snapshot must carry the alert ledger: checkpoints
+            # compact away the per-finding notes written before them
+            state["alerts"] = store.alerts.state()
         for family, mapping in self._series_maps(store):
             state[family] = {
                 str(key): _series_state(series, binary=binary)
@@ -846,6 +876,9 @@ def _store_from_snapshot(record: dict) -> SampleStore:
         max_events=int(ledger_state.get("max_events") or 1024)
     )
     _apply_ledger(store.ledger, ledger_state)
+    alerts_state = state.get("alerts")
+    if alerts_state is not None:
+        store.alerts = AlertLedger.from_state(alerts_state)
     return store
 
 
@@ -962,6 +995,11 @@ class RecoveredRun:
     def samples_taken(self) -> int:
         return self.store.samples_taken
 
+    @property
+    def alerts(self):
+        """The recovered alert ledger (None when no detector ran)."""
+        return self.store.alerts
+
     def observed_tids(self) -> list[int]:
         """Every thread id recovered from the journal, sorted."""
         return self.store.observed_tids()
@@ -1031,8 +1069,18 @@ def recover_journal(path: str | Path) -> RecoveredRun:
             f"{path}: no usable snapshot record (empty or fully torn journal)"
         )
     # notes are journal-only diagnostics; apply them after the replayed
-    # ledger state so a later period's counters cannot erase them
+    # ledger state so a later period's counters cannot erase them.
+    # Notes carrying a typed alert payload rebuild the alert ledger
+    # instead (they are findings, not degradation): the snapshot holds
+    # every finding up to the last checkpoint, these notes the rest,
+    # so the recovered alert history is bit-identical to the original.
     for note in notes:
+        alert_state = note.get("alert")
+        if alert_state is not None:
+            if store.alerts is None:
+                store.alerts = AlertLedger()
+            store.alerts.record(OnlineFinding.from_state(alert_state))
+            continue
         store.ledger.record_error(
             str(note.get("collector", "Journal")),
             float(note.get("tick", last_tick)),

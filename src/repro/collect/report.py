@@ -152,4 +152,7 @@ class ReportBuilder:
             report.gpu_stats[visible] = self._gpu_stats(visible)
         # degradation as data: why a column above is missing or short
         report.degradation_notes = self.store.ledger.summary_lines()
+        alerts = getattr(self.store, "alerts", None)
+        if alerts is not None:
+            report.alert_notes = alerts.summary_lines()
         return report

@@ -41,6 +41,7 @@ from repro.topology.cpuset import CpuSet
 
 if TYPE_CHECKING:
     from repro.core.heartbeat import ThreadSnapshot
+    from repro.detect.findings import AlertLedger
 
 __all__ = ["SampleStore"]
 
@@ -71,6 +72,11 @@ class SampleStore:
         self.last_thread_count = 0
         #: the degradation record of this run (see repro.collect.faults)
         self.ledger = DegradationLedger()
+        #: the alert record of this run, published by the collection
+        #: engine when an online detector is attached (None otherwise);
+        #: the store never imports the detect package — it only carries
+        #: the ledger for the report builder and the journal snapshot
+        self.alerts: "AlertLedger | None" = None
         #: undo journal of the open watermark, None outside a transaction
         self._txn: list[tuple] | None = None
         #: tick of the previous committed sample (starts at the

@@ -88,6 +88,17 @@ class ZeroSumConfig:
     #: whose jiffies stop advancing after this many sampling periods
     #: of silence (0 disables the watchdog)
     watchdog_stall_periods: float = 0.0
+    #: online detection: evaluate the §3.5 contention rules and the
+    #: precursor detectors once per committed sampling period
+    detect_online: bool = False
+    #: per-entity metric-history window the detector keeps (samples)
+    detect_window: int = 16
+    #: only raise a projected-OOM finding when the ETA is inside this
+    #: horizon (seconds)
+    detect_oom_horizon_s: float = 600.0
+    #: keep at most this many findings in memory (the journal keeps
+    #: them all regardless)
+    detect_max_alerts: int = 256
     #: extra environment-style options
     extra: dict[str, str] = field(default_factory=dict)
 
@@ -121,6 +132,12 @@ class ZeroSumConfig:
             raise MonitorError("journal_checkpoint_every must be >= 1")
         if self.watchdog_stall_periods < 0:
             raise MonitorError("watchdog_stall_periods must be >= 0")
+        if self.detect_window < 4:
+            raise MonitorError("detect_window must be >= 4")
+        if self.detect_oom_horizon_s <= 0:
+            raise MonitorError("detect_oom_horizon_s must be positive")
+        if self.detect_max_alerts < 1:
+            raise MonitorError("detect_max_alerts must be >= 1")
         if self.deadlock_action not in ("report", "terminate"):
             raise MonitorError("deadlock_action must be 'report' or 'terminate'")
         if self.openmp_detection not in ("ompt", "probe"):

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:
     from repro.collect.faults import DegradationLedger
+    from repro.detect.findings import AlertLedger
 
 __all__ = [
     "ThreadSnapshot",
@@ -35,6 +36,7 @@ def heartbeat_line(
     threads: int,
     ledger: Optional["DegradationLedger"] = None,
     last_sample_age_s: Optional[float] = None,
+    alerts: Optional["AlertLedger"] = None,
 ) -> str:
     """One heartbeat: liveness, thread count, and any degradation.
 
@@ -48,12 +50,18 @@ def heartbeat_line(
     detect a stalled sampler from the heartbeat file alone: a healthy
     monitor writes small ages, a wedged one writes growing ages (or
     stops writing, which the file's mtime betrays either way).
+
+    ``alerts`` is the online detector's ledger; when it holds findings
+    the line carries a per-code tally so the heartbeat file alone
+    shows what the detector has seen and how often.
     """
     line = f"[zerosum] t={seconds:.1f}s pid={pid} viable, {threads} threads"
     if last_sample_age_s is not None:
         line += f" last_sample_age={last_sample_age_s:.1f}s"
     if ledger is not None and ledger.degraded:
         line += f" [degraded: {ledger.degraded_summary()}]"
+    if alerts is not None and len(alerts):
+        line += f" alerts=[{alerts.heartbeat_summary()}]"
     return line
 
 

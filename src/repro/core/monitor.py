@@ -41,6 +41,7 @@ from repro.collect.faults import FaultPolicy
 from repro.core.config import ZeroSumConfig
 from repro.core.detect import ProcessConfig, detect_configuration
 from repro.core.heartbeat import ProgressTracker, heartbeat_line
+from repro.detect import DetectThresholds, OnlineDetector
 from repro.errors import MonitorError
 from repro.gpu.backend import SmiBackend, make_smi
 from repro.kernel.directives import Call, Compute, Sleep
@@ -135,6 +136,34 @@ class ZeroSum:
                 fsync=self.config.journal_fsync,
                 classify=self.classify,
             )
+        # online detection over the committed store, if configured —
+        # the same detector class the live driver uses, fed the same
+        # committed rows, which is what makes findings substrate-
+        # identical between a simulated run and its recovery
+        self.detector: Optional[OnlineDetector] = None
+        if self.config.detect_online:
+            machine = process.node.machine
+            gpu_numa: dict[int, int] = {}
+            rank_numas: set[int] = set()
+            if self.smi is not None and len(machine.numa_domains()) > 1:
+                for visible in range(self.smi.num_devices()):
+                    gpu_numa[visible] = self.smi.device(visible).info.numa
+                rank_numas = {
+                    machine.numa_of(cpu).os_index
+                    for cpu in self.initial.cpus_allowed
+                    if machine.numa_of(cpu) is not None
+                }
+            self.detector = OnlineDetector(
+                hz=kernel.clock.hz,
+                window=self.config.detect_window,
+                thresholds=DetectThresholds(
+                    oom_horizon_s=self.config.detect_oom_horizon_s
+                ),
+                node_cpus=machine.cpuset(),
+                gpu_numa=gpu_numa,
+                rank_numas=rank_numas,
+                max_alerts=self.config.detect_max_alerts,
+            )
         # containment policy: no backoff actuator — retries are
         # immediate re-reads, keeping simulated sampling deterministic
         self.engine = CollectionEngine(
@@ -145,6 +174,7 @@ class ZeroSum:
                 disable_after=self.config.fault_disable_after,
             ),
             journal=self.journal,
+            detector=self.detector,
         )
         if self.journal is not None:
             self.journal.open(
@@ -182,6 +212,10 @@ class ZeroSum:
             daemon=True,
         )
         self.progress.ignore_tids.add(self.monitor_lwp.tid)
+        if self.detector is not None:
+            # the monitor thread's own (light) activity must not trip
+            # the per-thread rules, same as the progress tracker
+            self.detector.ignore_tids.add(self.monitor_lwp.tid)
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -267,6 +301,7 @@ class ZeroSum:
                     pid=self.process.pid,
                     threads=len(snapshots),
                     ledger=self.store.ledger,
+                    alerts=self.store.alerts,
                 )
             )
         # a process whose main thread returned is finished, not

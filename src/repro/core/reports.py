@@ -98,6 +98,9 @@ class UtilizationReport:
     #: degradation ledger lines — why a column is missing ("GpuCollector
     #: disabled at tick 412: permission denied"); empty for a clean run
     degradation_notes: list[str] = field(default_factory=list)
+    #: online-detector findings rendered for the report ("[CRITICAL]
+    #: t=900 mem-leak-oom (mem): ..."); empty when no detector ran
+    alert_notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         """The complete Listing 2 text report."""
@@ -119,6 +122,9 @@ class UtilizationReport:
             lines += ["", f"GPU {visible} - (metric:  min  avg  max)"]
             for stat in self.gpu_stats[visible]:
                 lines.append(stat.render())
+        if self.alert_notes:
+            lines += ["", "Alerts:"]
+            lines.extend(self.alert_notes)
         if self.degradation_notes:
             lines += ["", "Degradation Summary:"]
             lines.extend(self.degradation_notes)

@@ -1,0 +1,195 @@
+"""Streaming ports of the §3.5 post-hoc contention rules.
+
+Each rule is a function ``(detector) -> list[Condition]`` evaluated
+once per committed sampling period against the bounded per-entity
+histories, using the same thresholds as the post-hoc
+:func:`repro.core.contention.analyze` — so a finding raised mid-run
+agrees with the finding the end-of-run report would print.  The
+difference is the window: post-hoc rules integrate over the whole run,
+these integrate over the detector's trailing history, which is what
+lets them fire while the pathology is still happening.
+
+A :class:`Condition` is a *currently true* statement; the detector
+edge-triggers it into an :class:`~repro.detect.findings.OnlineFinding`
+only on the period it first becomes true (and re-arms once it clears).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.detect.online import OnlineDetector
+
+__all__ = [
+    "Condition",
+    "rule_oversubscription",
+    "rule_time_slicing",
+    "rule_affinity_overlap",
+    "rule_gpu_locality",
+    "RULES",
+]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One rule/precursor verdict for the current period."""
+
+    code: str
+    severity: str
+    entity: str
+    message: str
+    eta_s: Optional[float] = None
+
+
+def _busy_windows(det: "OnlineDetector") -> list[tuple[int, float, frozenset]]:
+    """(tid, windowed busy %, affinity) of threads over the busy threshold.
+
+    Cached on the detector for the current period — several rules
+    consume the same list, and recomputing it per rule would double
+    the per-period walk over every thread history.  The affinity
+    frozenset rides along so the oversubscription and overlap rules
+    don't each rebuild it per busy thread; the full busy map (below
+    threshold included) lands in ``det._busy_all`` for the precursors.
+    """
+    cached = det._busy_cache
+    if cached is not None:
+        return cached
+    out = []
+    busy_all = det._busy_all
+    busy_all.clear()
+    hz, ignore = det.hz, det.ignore_tids
+    threshold = det.thresholds.busy_pct
+    for tid, history in det.lwps.items():
+        if tid in ignore or len(history) < 2:
+            continue
+        busy = history.busy_pct(hz)
+        busy_all[tid] = busy
+        if busy >= threshold:
+            out.append((tid, busy, det.affinity(tid)))
+    det._busy_cache = out
+    return out
+
+
+def rule_oversubscription(det: "OnlineDetector") -> list[Condition]:
+    """More busy *bound* threads than distinct CPUs, CPUs saturated."""
+    bound_busy: list[tuple[int, float]] = []
+    cpus_used: set[int] = set()
+    demand_pct = 0.0
+    for tid, busy, cpus in _busy_windows(det):
+        if not det.is_bound(cpus):
+            continue
+        bound_busy.append((tid, busy))
+        cpus_used.update(cpus)
+        demand_pct += busy
+    saturated = bool(cpus_used) and demand_pct >= (
+        det.thresholds.demand_saturation_pct * len(cpus_used)
+    )
+    if not (bound_busy and len(bound_busy) > len(cpus_used) and saturated):
+        return []
+    tids = ",".join(str(tid) for tid, _ in bound_busy[:6])
+    more = "..." if len(bound_busy) > 6 else ""
+    return [
+        Condition(
+            code="oversubscription",
+            severity="critical",
+            entity="proc",
+            message=(
+                f"{len(bound_busy)} busy threads share only "
+                f"{len(cpus_used)} hardware thread(s) over the last "
+                f"{det.window} periods (LWPs {tids}{more} on CPUs "
+                f"{sorted(cpus_used)})"
+            ),
+        )
+    ]
+
+
+def rule_time_slicing(det: "OnlineDetector") -> list[Condition]:
+    """High non-voluntary context-switch rate over the window."""
+    out = []
+    hz, ignore = det.hz, det.ignore_tids
+    threshold = det.thresholds.nvctx_rate
+    for tid, history in det.lwps.items():
+        ticks = history.ticks
+        if tid in ignore or len(ticks) < 2:
+            continue
+        span = ticks[-1] - ticks[0]
+        if span <= 0:
+            continue
+        nv = history.metrics["nv_ctx"]
+        rate = (nv[-1] - nv[0]) * hz / span
+        if rate > threshold:
+            out.append(
+                Condition(
+                    code="time-slicing",
+                    severity="warning",
+                    entity=f"lwp:{tid}",
+                    message=(
+                        f"LWP {tid} is being time-sliced: "
+                        f"{rate:.1f} non-voluntary context switches/s "
+                        f"over the last {len(history)} periods"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_affinity_overlap(det: "OnlineDetector") -> list[Condition]:
+    """Busy threads pinned (<= 2 CPUs) onto the same hardware thread."""
+    per_cpu: dict[int, list[int]] = {}
+    for tid, _busy, cpus in _busy_windows(det):
+        if not 0 < len(cpus) <= 2:
+            continue
+        for cpu in cpus:
+            per_cpu.setdefault(cpu, []).append(tid)
+    out = []
+    for cpu, tids in sorted(per_cpu.items()):
+        if len(tids) > 1:
+            out.append(
+                Condition(
+                    code="affinity-overlap",
+                    severity="warning",
+                    entity=f"hwt:{cpu}",
+                    message=(
+                        f"{len(tids)} busy threads are pinned to CPU "
+                        f"{cpu}: LWPs {sorted(tids)}"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_gpu_locality(det: "OnlineDetector") -> list[Condition]:
+    """A visible GPU attached to a NUMA domain the rank never runs on.
+
+    Static configuration, not a trend — it is evaluated from the
+    topology context the driver supplied and raised once (the episode
+    never clears, so edge triggering reports it exactly once).
+    """
+    if not det.gpu_numa or not det.rank_numas:
+        return []
+    out = []
+    for visible, numa in sorted(det.gpu_numa.items()):
+        if numa not in det.rank_numas:
+            out.append(
+                Condition(
+                    code="gpu-locality",
+                    severity="warning",
+                    entity=f"gpu:{visible}",
+                    message=(
+                        f"GPU {visible} is on NUMA {numa} but the rank "
+                        f"runs on NUMA {sorted(det.rank_numas)}"
+                    ),
+                )
+            )
+    return out
+
+
+#: the streaming §3.5 rule catalog, in evaluation order
+RULES = (
+    rule_oversubscription,
+    rule_time_slicing,
+    rule_affinity_overlap,
+    rule_gpu_locality,
+)

@@ -39,11 +39,12 @@ from repro.collect import (
     SampleStore,
     read_task,
 )
-from repro.collect.faults import FaultPolicy, is_missing
+from repro.collect.faults import FaultPolicy, classify_failure, is_missing
 from repro.collect.report import ReportBuilder
 from repro.core.config import ZeroSumConfig
 from repro.core.heartbeat import HeartbeatWriter, heartbeat_line
 from repro.core.reports import UtilizationReport
+from repro.detect import DetectThresholds, OnlineDetector
 from repro.errors import MonitorError, ProcessVanishedError, ProcFSError
 from repro.live.watchdog import SamplerWatchdog
 from repro.units import USER_HZ
@@ -115,6 +116,19 @@ class LiveZeroSum:
                 fsync=self.config.journal_fsync,
                 classify=self.classify,
             )
+        #: online detection over the committed store (same class and
+        #: thresholds the sim driver wires, fed the same committed rows)
+        self.detector: Optional[OnlineDetector] = None
+        if self.config.detect_online:
+            self.detector = OnlineDetector(
+                hz=USER_HZ,
+                window=self.config.detect_window,
+                thresholds=DetectThresholds(
+                    oom_horizon_s=self.config.detect_oom_horizon_s
+                ),
+                node_cpus=self.cpus_allowed,
+                max_alerts=self.config.detect_max_alerts,
+            )
         self.engine = CollectionEngine(
             self.store,
             collectors,
@@ -125,6 +139,7 @@ class LiveZeroSum:
                 sleep=time.sleep,
             ),
             journal=self.journal,
+            detector=self.detector,
         )
         #: watchdog over the sampler and the monitored process's jiffies
         self.watchdog: Optional[SamplerWatchdog] = None
@@ -145,6 +160,13 @@ class LiveZeroSum:
             raise MonitorError("live monitor already started")
         self._stop.clear()
         self._stopped = False
+        # a restart must not inherit the previous run's staleness: the
+        # age of the last pre-stop sample would otherwise read as a
+        # sampler stall the moment the watchdog wakes, before the new
+        # sampler thread has had one period to produce a sample
+        self._last_sample_wall = None
+        if self.watchdog is not None:
+            self.watchdog.reset()
         if self.journal is not None and not self.journal.is_open:
             self.journal.open(self.store, self._journal_meta())
             self.engine.journal = self.journal
@@ -346,6 +368,7 @@ class LiveZeroSum:
                         threads=self.store.last_thread_count,
                         ledger=self.store.ledger,
                         last_sample_age_s=self._sample_age(now),
+                        alerts=self.store.alerts,
                     )
                 )
                 journal = self.engine.journal
@@ -388,6 +411,10 @@ class LiveZeroSum:
         the loop keeps going.
         """
         self._monitor_tid = threading.get_native_id()
+        if self.detector is not None:
+            # exempt the sampler thread from the per-thread rules, the
+            # same way the sim driver exempts its monitor LWP
+            self.detector.ignore_tids.add(self._monitor_tid)
         journal = self.engine.journal
         if journal is not None and journal.is_open:
             try:
@@ -416,10 +443,20 @@ class LiveZeroSum:
                     tick,
                     f"spurious process-vanished report: {exc}",
                 )
-            except Exception as exc:  # never die silently
-                self.store.ledger.record_error(
-                    "LiveZeroSum", tick, f"{type(exc).__name__}: {exc}"
+            except Exception as exc:
+                # never die silently — but never *degrade* silently
+                # either: classified failures feed the same consecutive
+                # counters collector failures do, so a loop that fails
+                # every period shows up in degraded_summary() and the
+                # heartbeat instead of only in a debug-level error list
+                self.store.ledger.record_failure(
+                    "LiveZeroSum",
+                    tick,
+                    f"{type(exc).__name__}: {exc}",
+                    classify_failure(exc),
                 )
+            else:
+                self.store.ledger.record_success("LiveZeroSum")
 
     def _process_vanished(self, probes: int = 3) -> bool:
         """Confirm ``/proc/<pid>`` is really gone, not a glitch."""
@@ -456,6 +493,7 @@ class LiveZeroSum:
                     threads=len(snapshots),
                     ledger=self.store.ledger,
                     last_sample_age_s=age,
+                    alerts=self.store.alerts,
                 )
             )
 

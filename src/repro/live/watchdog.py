@@ -76,6 +76,20 @@ class SamplerWatchdog:
         #: every stall event ever raised, for diagnostics and tests
         self.events: list[StallEvent] = []
 
+    def reset(self) -> None:
+        """Forget episode state across a stop()/start() cycle.
+
+        A restarted monitor has (by definition) taken no sample yet:
+        carrying the previous run's jiffies watermark or an armed
+        stall episode over would report a spurious stall against state
+        that belongs to a sampler thread that no longer exists.  The
+        ``events`` list is diagnostics history and is kept.
+        """
+        self._sampler_stalled = False
+        self._jiffies_last = None
+        self._jiffies_since = None
+        self._jiffies_stalled = False
+
     def check(self, now: float) -> list[StallEvent]:
         """One probe; returns newly crossed stall thresholds (if any)."""
         fired: list[StallEvent] = []

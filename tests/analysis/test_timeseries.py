@@ -79,6 +79,59 @@ class TestHwtSeries:
         assert len(hwts) == 7
 
 
+class TestDegenerateIntervals:
+    """Duplicated or regressed ticks must not fabricate utilization."""
+
+    def test_duplicated_tick_rows_are_dropped(self):
+        from repro.analysis.timeseries import _differences
+
+        ticks = np.array([0.0, 100.0, 100.0, 200.0])
+        utime = np.array([0.0, 50.0, 60.0, 120.0])
+        kept, dt, (du,) = _differences(ticks, utime)
+        assert kept.tolist() == [0.0, 100.0, 200.0]
+        assert dt.tolist() == [100.0, 100.0]
+        # rates over the *kept* rows: 50% then 70% — the old one-tick
+        # clamp reported a 1000%+ spike for the duplicated interval
+        assert (100.0 * du / dt).tolist() == [50.0, 70.0]
+
+    def test_regressed_tick_rows_are_dropped(self):
+        from repro.analysis.timeseries import _differences
+
+        ticks = np.array([0.0, 100.0, 90.0, 200.0])
+        utime = np.array([0.0, 50.0, 55.0, 120.0])
+        kept, dt, (du,) = _differences(ticks, utime)
+        assert kept.tolist() == [0.0, 100.0, 200.0]
+        assert np.all(dt > 0.0)
+
+    def test_all_duplicate_ticks_raise(self):
+        from repro.analysis.timeseries import _differences
+
+        with pytest.raises(MonitorError):
+            _differences(np.array([50.0, 50.0, 50.0]),
+                         np.array([0.0, 1.0, 2.0]))
+
+    def test_replayed_period_never_spikes_past_100(self, monitor):
+        """A journal replay of the torn tail repeats the last period;
+        the assembled series must stay physical (≤100% per thread)."""
+        from repro.core.records import LWP_COLUMNS, SeriesBuffer
+
+        pid = monitor.process.pid
+        original = monitor.lwp_series[pid]
+        replayed = SeriesBuffer(LWP_COLUMNS)
+        rows = original.array
+        for row in rows:
+            replayed.append(row)
+        replayed.append(rows[-1])  # torn-tail duplicate
+        monitor.lwp_series[pid] = replayed
+        try:
+            s = lwp_series(monitor, pid)
+        finally:
+            monitor.lwp_series[pid] = original
+        assert np.all(s.user_pct + s.system_pct <= 100.0 + 1e-6)
+        baseline = lwp_series(monitor, pid)
+        assert len(s) == len(baseline)
+
+
 class TestRenderTable:
     def test_render(self, monitor):
         table = render_series_table(all_hwt_series(monitor)[:2])

@@ -98,6 +98,45 @@ class TestJiffiesStall:
         }
 
 
+class TestRestart:
+    def test_reset_forgets_the_previous_runs_state(self):
+        """stop()/start() must not report stalls against the dead run.
+
+        Without reset() the restarted watchdog carries the old jiffies
+        watermark: a monitored process that idled across the gap looks
+        'frozen since before the restart' and fires a spurious stall on
+        the very first post-restart check.
+        """
+        probes = Probes()
+        dog = probes.make(threshold=5.0)
+        probes.sample_time = 0.0
+        probes.jiffies = 100.0
+        dog.check(0.0)
+        dog.check(10.0)  # both signals stall: run 1 ends wedged
+        assert dog.stalled
+
+        dog.reset()  # what LiveMonitor.start() does on a restart
+        assert not dog.stalled
+        # first check of run 2, 100s later, app still at 100 jiffies:
+        # the watermark was dropped, so this re-seeds instead of firing
+        probes.sample_time = 110.0
+        assert dog.check(110.0) == []
+        # and the episode state was disarmed: a *new* stall re-fires
+        fired = dog.check(120.0)
+        assert {e.kind for e in fired} == {
+            "sampler-stalled", "jiffies-stalled"
+        }
+
+    def test_reset_keeps_the_diagnostics_history(self):
+        probes = Probes()
+        dog = probes.make(threshold=5.0)
+        probes.sample_time = 0.0
+        dog.check(6.0)
+        before = list(dog.events)
+        dog.reset()
+        assert dog.events == before
+
+
 class TestContract:
     def test_zero_threshold_rejected(self):
         probes = Probes()

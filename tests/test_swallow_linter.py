@@ -1,0 +1,103 @@
+"""The swallow linter itself: each rule trips on its bug shape."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_collector_swallows",
+    ROOT / "tools" / "check_collector_swallows.py",
+)
+linter = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(linter)
+
+
+def scan(tmp_path, source, **kwargs):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return linter.find_swallows(path, **kwargs)
+
+
+class TestSilentSwallowRule:
+    def test_pass_body_is_flagged(self, tmp_path):
+        bad = scan(tmp_path, (
+            "try:\n"
+            "    work()\n"
+            "except ValueError:\n"
+            "    pass\n"
+        ))
+        assert len(bad) == 1
+        assert bad[0][0] == 3
+
+    def test_ledgered_pass_is_clean(self, tmp_path):
+        assert scan(tmp_path, (
+            "try:\n"
+            "    work()\n"
+            "except ValueError:\n"
+            "    ledger.record_failure('X', 'boom')\n"
+            "    pass\n"
+        )) == []
+
+
+class TestBareExceptRule:
+    def test_bare_except_flagged_even_with_a_body(self, tmp_path):
+        bad = scan(tmp_path, (
+            "try:\n"
+            "    work()\n"
+            "except:\n"
+            "    handle()\n"
+        ))
+        assert len(bad) == 1
+        assert "bare except" in bad[0][1]
+
+
+class TestBroadCatchRule:
+    SOURCE = (
+        "try:\n"
+        "    work()\n"
+        "except Exception as exc:\n"
+        "    log(exc)\n"
+    )
+
+    def test_broad_catch_without_ledger_flagged_when_required(
+        self, tmp_path
+    ):
+        bad = scan(tmp_path, self.SOURCE, require_ledger_on_broad=True)
+        assert len(bad) == 1
+        assert "broad catch" in bad[0][1]
+
+    def test_rule_is_opt_in(self, tmp_path):
+        # outside src/repro/live the collect-path rules still apply,
+        # but a logging broad catch is not (yet) an error
+        assert scan(tmp_path, self.SOURCE) == []
+
+    def test_ledger_call_satisfies_the_contract(self, tmp_path):
+        assert scan(tmp_path, (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    kind = classify_failure(exc)\n"
+            "    store.ledger.record_failure('Live', kind)\n"
+        ), require_ledger_on_broad=True) == []
+
+    def test_reraise_satisfies_the_contract(self, tmp_path):
+        assert scan(tmp_path, (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    cleanup()\n"
+            "    raise\n"
+        ), require_ledger_on_broad=True) == []
+
+
+class TestRealTree:
+    def test_sampling_path_is_currently_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(ROOT / "tools" /
+                                 "check_collector_swallows.py")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -49,6 +49,7 @@ REQUIRED = (
     "BENCH_sampling.json",
     "BENCH_multirank.json",
     "BENCH_journal.json",
+    "BENCH_detect.json",
 )
 
 #: metric name fragments that mean "higher is better"
@@ -56,7 +57,14 @@ _HIGHER = ("_per_sec", "speedup", "_over_")
 #: metric name fragments that mean "lower is better"
 _LOWER = ("_seconds",)
 #: scenario fields that are context, not performance metrics
-_METADATA = ("host_cores", "busy_lwps", "ticks", "samples", "lwp_rows")
+_METADATA = (
+    "host_cores",
+    "busy_lwps",
+    "ticks",
+    "samples",
+    "lwp_rows",
+    "rounds",
+)
 
 
 def _direction(metric: str) -> int:

@@ -13,6 +13,12 @@ sampling and durability path.  It catches ``KeyboardInterrupt`` and
 ``SystemExit``, which on the last-gasp path means eating the very
 signal the handler exists to flush for.  Name the exceptions.
 
+The live driver adds a third rule, scoped to ``src/repro/live``: a
+broad ``except Exception``/``except BaseException`` whose body neither
+touches the ledger nor re-raises is a swallowed failure even when it
+logs something else — the live loop's own containment contract is
+"classified failure into the degradation ledger", nothing weaker.
+
 Grep-grade on purpose: no imports of the package under test, no AST
 surprises on syntax errors, runnable on any Python.
 """
@@ -28,10 +34,15 @@ SCAN_DIRS = ("src/repro/collect", "src/repro/live")
 
 _EXCEPT_RE = re.compile(r"^(\s*)except\b.*:\s*(#.*)?$")
 _BARE_EXCEPT_RE = re.compile(r"^\s*except\s*:\s*(#.*)?$")
+_BROAD_EXCEPT_RE = re.compile(
+    r"^\s*except\s+(Exception|BaseException)\b.*:\s*(#.*)?$"
+)
 _SWALLOW_RE = re.compile(r"^\s*(pass|continue)\s*(#.*)?$")
 
 
-def find_swallows(path: Path) -> list[tuple[int, str]]:
+def find_swallows(
+    path: Path, *, require_ledger_on_broad: bool = False
+) -> list[tuple[int, str]]:
     """(line, text) of every silent-swallow except block in one file."""
     lines = path.read_text().splitlines()
     bad: list[tuple[int, str]] = []
@@ -55,8 +66,16 @@ def find_swallows(path: Path) -> list[tuple[int, str]]:
             body.append(nxt)
         swallows = body and all(_SWALLOW_RE.match(b) for b in body)
         mentions_ledger = any("ledger" in b for b in body)
+        reraises = any(re.match(r"^\s*raise\b", b) for b in body)
         if swallows and not mentions_ledger:
             bad.append((i + 1, line.strip()))
+        elif (
+            require_ledger_on_broad
+            and _BROAD_EXCEPT_RE.match(line)
+            and not mentions_ledger
+            and not reraises
+        ):
+            bad.append((i + 1, line.strip() + "  [broad catch, no ledger]"))
     return bad
 
 
@@ -64,8 +83,14 @@ def main() -> int:
     root = Path(__file__).resolve().parent.parent
     failures = 0
     for rel in SCAN_DIRS:
+        # the live driver holds the broad-catch rule too: its loop's
+        # containment contract routes every absorbed failure through
+        # the ledger, so a ledger-less `except Exception` is a swallow
+        broad = rel == "src/repro/live"
         for path in sorted((root / rel).rglob("*.py")):
-            for lineno, text in find_swallows(path):
+            for lineno, text in find_swallows(
+                path, require_ledger_on_broad=broad
+            ):
                 print(
                     f"{path.relative_to(root)}:{lineno}: silent exception "
                     f"swallow ({text!r}) — record it in the degradation "

@@ -66,7 +66,14 @@ from repro.units import USER_HZ
 if TYPE_CHECKING:
     from repro.core.reports import UtilizationReport
 
-__all__ = ["JournalWriter", "RecoveredRun", "read_journal", "recover_journal"]
+__all__ = [
+    "JournalWriter",
+    "RecoveredRun",
+    "read_journal",
+    "recover_journal",
+    "encode_store_snapshot",
+    "decode_store_snapshot",
+]
 
 _MAGIC = b"ZSJ1"
 _MAGIC2 = b"ZSJ2"
@@ -468,6 +475,55 @@ def _apply_identity(store: SampleStore, state: dict) -> None:
     store.last_thread_count = int(state["last_thread_count"])
 
 
+def _store_state(store: SampleStore, *, binary: bool) -> dict:
+    """Marshal a store's complete state (retention, series, ledgers)."""
+    state: dict = {
+        "keep_series": store.keep_series,
+        "max_rows": store.max_rows,
+        "summary_rows": store.summary_rows,
+        **_identity_state(store),
+        "mem": _series_state(store.mem_series, binary=binary),
+        "ledger": _ledger_state(
+            store.ledger,
+            since=store.ledger.total_events - len(store.ledger.events),
+        ),
+    }
+    if store.alerts is not None:
+        # the snapshot must carry the alert ledger: checkpoints
+        # compact away the per-finding notes written before them
+        state["alerts"] = store.alerts.state()
+    for family, mapping in (
+        ("lwp", store.lwp_series),
+        ("hwt", store.hwt_series),
+        ("gpu", store.gpu_series),
+    ):
+        state[family] = {
+            str(key): _series_state(series, binary=binary)
+            for key, series in mapping.items()
+        }
+    return state
+
+
+def encode_store_snapshot(store: SampleStore) -> bytes:
+    """One SampleStore as a compact ZSJ2 binary blob.
+
+    The sharded launcher's checkpoint-restart path reuses the journal's
+    wire codec for its per-rank store payloads: the packed matrix
+    blocks keep epoch-boundary checkpoints cheap enough to marshal
+    over a pipe every K epochs, and round-tripping through the same
+    codec as crash recovery means one tested serialization, not two.
+    """
+    return _encode_body({"store": _store_state(store, binary=True)})
+
+
+def decode_store_snapshot(blob: bytes) -> SampleStore:
+    """Rebuild the SampleStore encoded by :func:`encode_store_snapshot`."""
+    record = _decode_body(blob)
+    if record is None or "store" not in record:
+        raise JournalError("undecodable store snapshot blob")
+    return _store_from_snapshot(record)
+
+
 # -- the writer -------------------------------------------------------------
 class JournalWriter:
     """Append-only, checkpoint-compacted spill journal of one store.
@@ -695,33 +751,12 @@ class JournalWriter:
     def _snapshot_record(
         self, store: SampleStore, tick: Optional[float]
     ) -> dict:
-        binary = self.format == 2
-        state: dict = {
-            "keep_series": store.keep_series,
-            "max_rows": store.max_rows,
-            "summary_rows": store.summary_rows,
-            **_identity_state(store),
-            "mem": _series_state(store.mem_series, binary=binary),
-            "ledger": _ledger_state(
-                store.ledger,
-                since=store.ledger.total_events - len(store.ledger.events),
-            ),
-        }
-        if store.alerts is not None:
-            # the snapshot must carry the alert ledger: checkpoints
-            # compact away the per-finding notes written before them
-            state["alerts"] = store.alerts.state()
-        for family, mapping in self._series_maps(store):
-            state[family] = {
-                str(key): _series_state(series, binary=binary)
-                for key, series in mapping.items()
-            }
         return {
             "kind": "snapshot",
             "seq": self._seq,
             "tick": store.prev_tick if tick is None else tick,
             "kinds": self._kinds(store),
-            "store": state,
+            "store": _store_state(store, binary=self.format == 2),
         }
 
     def _series_delta(

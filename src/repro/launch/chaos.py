@@ -1,0 +1,175 @@
+"""Deterministic fault injection for the sharded launcher.
+
+Recovery code that is only exercised by real failures is recovery code
+that has never run.  The chaos harness turns worker failure into a
+first-class, *seeded* input: a :class:`ChaosPlan` names which shard
+misbehaves, at which epoch, and how —
+
+* ``kill``    — the worker exits hard (``os._exit``) after computing
+  the epoch but before replying: the orchestrator sees EOF, exactly
+  like a segfault or an OOM kill;
+* ``hang``    — the worker stops heartbeating and sleeps forever
+  (optionally ignoring SIGTERM, modelling a task wedged in
+  uninterruptible I/O): only the hang detector can catch it;
+* ``slow``    — the worker sleeps ``delay_seconds`` *while still
+  heartbeating*: a straggler that must NOT be respawned;
+* ``corrupt`` — the worker emits one garbage frame on the pipe before
+  its real reply: the orchestrator's unpickling fails mid-protocol;
+* ``ckpt_kill`` — latched until the next checkpoint boundary, where
+  the worker dies *inside* the checkpoint sequence: after announcing
+  the replacement spare but before retiring its predecessor.  Both
+  generations' spares briefly share the slot pipe, so recovery must
+  disambiguate them via the adoption handshake — the worst-case
+  placement for an external ``kill -9``.
+
+Plans are consumed by the **orchestrator**, which embeds the directive
+in the epoch command it sends the worker.  That placement is load-
+bearing for checkpoint-restart testing: when a killed worker is
+respawned and the intervening epochs are replayed, the replay must not
+re-fire the kill — the orchestrator already consumed that event.  A
+``repeat`` budget above 1 deliberately re-fires on the replacement
+worker to exercise respawn-budget exhaustion.
+
+``parse_chaos_spec`` reads the hidden ``--chaos`` CLI syntax:
+``kind@epoch/shard[*repeat]``, comma-separated, e.g.
+``kill@3/1,hang@5/0*2``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LaunchError
+
+__all__ = ["ChaosEvent", "ChaosPlan", "parse_chaos_spec", "CHAOS_KINDS"]
+
+CHAOS_KINDS = ("kill", "hang", "slow", "corrupt", "ckpt_kill")
+
+_SPEC_RE = re.compile(
+    r"^(?P<kind>[a-z_]+)@(?P<epoch>\d+)/(?P<shard>\d+)(?:\*(?P<repeat>\d+))?$"
+)
+
+
+@dataclass
+class ChaosEvent:
+    """One planned fault: ``kind`` strikes ``shard`` at ``epoch``.
+
+    ``epoch`` counts the orchestrator's barrier epochs from 0; the
+    event fires on the first epoch ``>= epoch`` that the shard is
+    actually commanded (so "final epoch" plans don't miss when a run
+    ends early).  ``repeat`` is the number of firings: each firing
+    consumes one count, and a respawned worker is eligible for the
+    remaining ones.
+    """
+
+    kind: str
+    epoch: int
+    shard: int
+    repeat: int = 1
+    #: sleep injected by ``slow``, in wall seconds
+    delay_seconds: float = 0.2
+    #: ``hang`` only: also ignore SIGTERM, forcing the kill escalation
+    ignore_term: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise LaunchError(
+                f"unknown chaos kind {self.kind!r}; "
+                f"choose from {CHAOS_KINDS}"
+            )
+        if self.epoch < 0 or self.shard < 0:
+            raise LaunchError("chaos epoch and shard must be >= 0")
+        if self.repeat < 1:
+            raise LaunchError("chaos repeat must be >= 1")
+        if self.delay_seconds < 0:
+            raise LaunchError("chaos delay_seconds must be >= 0")
+
+    def directive(self) -> dict:
+        """The wire form embedded in the worker's epoch command."""
+        return {
+            "kind": self.kind,
+            "delay_seconds": self.delay_seconds,
+            "ignore_term": self.ignore_term,
+        }
+
+
+@dataclass
+class ChaosPlan:
+    """A deterministic schedule of worker faults.
+
+    The plan is pure data; the sharded orchestrator calls
+    :meth:`take` once per (shard, epoch) command and forwards any
+    directive to the worker.  Consumption is stateful — an event with
+    ``repeat=1`` fires exactly once per run, however many times the
+    surrounding epochs are replayed during recovery.
+    """
+
+    events: list[ChaosEvent] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        shards: int,
+        epochs: int,
+        events: int = 1,
+        kinds: tuple[str, ...] = CHAOS_KINDS,
+    ) -> "ChaosPlan":
+        """A reproducible random plan: same seed, same faults."""
+        if shards < 1 or epochs < 1:
+            raise LaunchError("seeded plan needs shards >= 1 and epochs >= 1")
+        rng = np.random.default_rng(seed)
+        drawn = [
+            ChaosEvent(
+                kind=kinds[int(rng.integers(len(kinds)))],
+                epoch=int(rng.integers(epochs)),
+                shard=int(rng.integers(shards)),
+            )
+            for _ in range(events)
+        ]
+        return cls(events=drawn, seed=seed)
+
+    def take(self, shard: int, epoch: int) -> list[dict]:
+        """Consume the directives due for this shard's epoch command.
+
+        Returns at most one directive per pending event; an event fires
+        on the first commanded epoch at or past its own.
+        """
+        fired: list[dict] = []
+        for event in self.events:
+            if event.repeat > 0 and event.shard == shard and epoch >= event.epoch:
+                event.repeat -= 1
+                fired.append(event.directive())
+        return fired
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every planned fault has fired."""
+        return all(e.repeat <= 0 for e in self.events)
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse the ``--chaos`` syntax: ``kind@epoch/shard[*repeat],...``."""
+    events: list[ChaosEvent] = []
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        match = _SPEC_RE.match(part)
+        if match is None:
+            raise LaunchError(
+                f"bad chaos spec {part!r}; expected kind@epoch/shard[*repeat]"
+            )
+        events.append(
+            ChaosEvent(
+                kind=match.group("kind"),
+                epoch=int(match.group("epoch")),
+                shard=int(match.group("shard")),
+                repeat=int(match.group("repeat") or 1),
+            )
+        )
+    if not events:
+        raise LaunchError("empty chaos spec")
+    return ChaosPlan(events=events)

@@ -1,0 +1,314 @@
+"""Chaos drills: every recovery path under deterministic fault injection.
+
+The acceptance bar mirrors the fault-free sharded suite: a run that
+recovers from an injected fault must produce **bit-identical** merged
+reports to the serial launcher, and a run whose respawn budget is
+exhausted must degrade cleanly (survivors report, lost ranks raise).
+"""
+
+import pytest
+
+from repro.apps import PicConfig, pic_app
+from repro.core import ZeroSumConfig, zerosum_mpi
+from repro.errors import LaunchError
+from repro.launch import (
+    ChaosEvent,
+    ChaosPlan,
+    RecoveryPolicy,
+    ShardedJobStep,
+    SrunOptions,
+    launch_job,
+    parse_chaos_spec,
+)
+from repro.launch.chaos import CHAOS_KINDS
+from repro.mpi import Fabric
+from repro.topology import generic_node
+
+#: point-to-point only: the bit-identity bar applies to p2p jobs
+PIC = PicConfig(steps=6, shift_distance=3, reduce_every=0)
+
+#: compressed policy so fault drills finish in milliseconds, not minutes
+FAST = RecoveryPolicy(
+    checkpoint_every=2,
+    max_respawns=2,
+    backoff_seconds=0.01,
+    heartbeat_interval=0.05,
+    hang_grace_seconds=0.6,
+    straggler_slack_seconds=0.2,
+    hello_timeout_seconds=5.0,
+    max_replay_epochs=64,
+)
+
+
+def _machines():
+    return [generic_node(cores=4, name=f"node{i}") for i in range(2)]
+
+
+def _launch(*, workers=2, recovery=FAST, chaos=None):
+    return launch_job(
+        _machines(),
+        SrunOptions(ntasks=8, command="pic"),
+        pic_app(PIC),
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+        fabric=Fabric(remote_latency=8),
+        workers=workers,
+        recovery=recovery,
+        chaos=chaos,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The fault-free truth: serial renders + the sharded epoch count."""
+    serial = _launch(workers=1)
+    serial.run()
+    serial.finalize()
+    sharded = _launch()
+    assert isinstance(sharded, ShardedJobStep)
+    sharded.run()
+    assert sharded.degradations == []
+    return {
+        "reports": [serial.report(r).render() for r in range(8)],
+        "ticks": serial.ticks_run,
+        "epochs": sharded.epochs_run,
+    }
+
+
+def _assert_recovered_bit_identical(step, reference):
+    """The whole point of checkpoint-restart: faults leave no trace."""
+    assert step.ticks_run == reference["ticks"]
+    for rank in range(8):
+        assert step.report(rank).render() == reference["reports"][rank]
+    events = step.degradations
+    assert [e for e in events if e.action == "respawned"], (
+        "recovery must be ledgered, not silent"
+    )
+    assert not [e for e in events if e.action == "failure"]
+
+
+class TestKillRecovery:
+    def test_kill_at_first_epoch_recovers_by_rebirth(self, reference):
+        """Death before any checkpoint: re-fork from the build closure."""
+        step = _launch(
+            chaos=ChaosPlan(events=[ChaosEvent("kill", epoch=0, shard=1)])
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+        assert step._slot_cursor[1] == 0  # no spare existed to promote
+
+    def test_kill_mid_run_recovers_by_spare_promotion(self, reference):
+        """Death after a checkpoint: promote the frozen hot spare."""
+        middle = reference["epochs"] // 2
+        assert middle >= 2  # a checkpoint boundary has passed
+        step = _launch(
+            chaos=ChaosPlan(events=[ChaosEvent("kill", epoch=middle, shard=1)])
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+        assert step._slot_cursor[1] >= 1  # a slot was spent on promotion
+
+    def test_kill_at_final_epoch_recovers(self, reference):
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[
+                    ChaosEvent("kill", epoch=reference["epochs"] - 1, shard=1)
+                ]
+            )
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+
+    def test_kill_inside_checkpoint_window_recovers(self, reference):
+        """Death mid-checkpoint: the worst-case external kill placement.
+
+        The worker dies after announcing its replacement spare but
+        before retiring the predecessor, so two generations briefly
+        share the slot pipe.  The adoption handshake must promote the
+        clone matching the orchestrator's checkpoint — whichever one
+        happens to read the adopt first.
+        """
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[ChaosEvent("ckpt_kill", epoch=3, shard=1)]
+            )
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+        assert step._slot_cursor[1] >= 1  # recovery came from a spare
+
+    def test_kill_without_checkpoints_recovers_by_full_replay(self, reference):
+        """checkpoint_every=0: the replay buffer alone heals the loss."""
+        policy = RecoveryPolicy(
+            checkpoint_every=0,
+            max_respawns=2,
+            backoff_seconds=0.01,
+            heartbeat_interval=0.05,
+            hang_grace_seconds=0.6,
+        )
+        middle = reference["epochs"] // 2
+        step = _launch(
+            recovery=policy,
+            chaos=ChaosPlan(events=[ChaosEvent("kill", epoch=middle, shard=0)]),
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+
+
+class TestHangRecovery:
+    def test_hang_is_detected_and_respawned(self, reference):
+        """Heartbeat silence, process alive: the hang detector fires."""
+        step = _launch(
+            chaos=ChaosPlan(events=[ChaosEvent("hang", epoch=2, shard=1)])
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+        retries = [e for e in step.degradations if e.action == "retry"]
+        assert retries and "HangDetected" in retries[0].reason
+
+    def test_sigterm_immune_hang_is_still_reaped(self, reference):
+        """A worker wedged past SIGTERM needs the SIGKILL escalation."""
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[
+                    ChaosEvent("hang", epoch=2, shard=1, ignore_term=True)
+                ]
+            )
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+
+    def test_unrecovered_hang_is_ledgered_as_hung(self):
+        """max_respawns=0: the hang degrades, filed as transient 'hung'."""
+        policy = RecoveryPolicy(
+            max_respawns=0, heartbeat_interval=0.05, hang_grace_seconds=0.4
+        )
+        step = _launch(
+            recovery=policy,
+            chaos=ChaosPlan(events=[ChaosEvent("hang", epoch=1, shard=1)]),
+        )
+        step.run()
+        failures = [e for e in step.degradations if e.action == "failure"]
+        assert len(failures) == 1
+        assert "hung" in failures[0].reason
+        assert "crashed" not in failures[0].reason
+        assert failures[0].failure_class == "transient"
+
+
+class TestStraggler:
+    def test_slow_worker_is_waited_for_not_respawned(self, reference):
+        """Past the adaptive deadline with healthy heartbeats: wait."""
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[
+                    ChaosEvent("slow", epoch=2, shard=1, delay_seconds=0.7)
+                ]
+            )
+        )
+        step.run()
+        assert step.ticks_run == reference["ticks"]
+        for rank in range(8):
+            assert step.report(rank).render() == reference["reports"][rank]
+        events = step.degradations
+        assert not [e for e in events if e.action in ("retry", "failure")]
+        stragglers = [e for e in events if e.action == "straggler"]
+        assert stragglers and "deadline" in stragglers[0].reason
+
+
+class TestCorruptFrame:
+    def test_corrupt_frame_triggers_respawn(self, reference):
+        """An undecodable frame poisons the pipe: replace the worker."""
+        middle = reference["epochs"] // 2
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[ChaosEvent("corrupt", epoch=middle, shard=1)]
+            )
+        )
+        step.run()
+        _assert_recovered_bit_identical(step, reference)
+
+
+class TestBudgetExhaustion:
+    def test_repeating_kill_exhausts_budget_and_degrades(self, reference):
+        """A fault that re-fires on every replacement wins in the end."""
+        step = _launch(
+            chaos=ChaosPlan(
+                events=[ChaosEvent("kill", epoch=1, shard=1, repeat=3)]
+            )
+        )
+        step.run()
+        events = step.degradations
+        retries = [e for e in events if e.action == "retry"]
+        failures = [e for e in events if e.action == "failure"]
+        assert len(retries) == FAST.max_respawns
+        assert len(failures) == 1
+        assert "respawn budget exhausted" in failures[0].reason
+        # clean degradation: survivors report, lost ranks raise
+        step.report(0).render()
+        with pytest.raises(LaunchError):
+            step.report(4)
+
+
+class TestCheckpointArtifacts:
+    def test_checkpoint_store_holds_partial_samples(self):
+        """The last checkpointed stores survive as decodable artifacts."""
+        step = launch_job(
+            _machines(),
+            SrunOptions(ntasks=8, command="pic"),
+            pic_app(PIC),
+            # fast sampling so mid-run checkpoints actually carry rows
+            monitor_factory=zerosum_mpi(ZeroSumConfig(period_seconds=0.05)),
+            fabric=Fabric(remote_latency=8),
+            workers=2,
+            recovery=FAST,
+        )
+        assert isinstance(step, ShardedJobStep)
+        step.run()
+        store = step.checkpoint_store(0)
+        assert store.samples_taken > 0
+        assert len(store.mem_series) > 0
+        # the checkpoint predates (or equals) the final state
+        assert store.prev_tick <= step.store(0).prev_tick
+        with pytest.raises(LaunchError):
+            step.checkpoint_store(99)
+
+
+class TestChaosPlanUnits:
+    def test_parse_spec_roundtrip(self):
+        plan = parse_chaos_spec("kill@3/1,hang@5/0*2")
+        assert [(e.kind, e.epoch, e.shard, e.repeat) for e in plan.events] == [
+            ("kill", 3, 1, 1),
+            ("hang", 5, 0, 2),
+        ]
+
+    @pytest.mark.parametrize(
+        "bad", ["", "explode@1/0", "kill@x/0", "kill@1", "kill@1/0*0"]
+    )
+    def test_parse_spec_rejects_garbage(self, bad):
+        with pytest.raises(LaunchError):
+            parse_chaos_spec(bad)
+
+    def test_seeded_plans_are_reproducible(self):
+        a = ChaosPlan.seeded(7, shards=4, epochs=16, events=5)
+        b = ChaosPlan.seeded(7, shards=4, epochs=16, events=5)
+        assert [(e.kind, e.epoch, e.shard) for e in a.events] == [
+            (e.kind, e.epoch, e.shard) for e in b.events
+        ]
+        assert all(e.kind in CHAOS_KINDS for e in a.events)
+        assert all(0 <= e.shard < 4 and 0 <= e.epoch < 16 for e in a.events)
+
+    def test_take_consumes_and_fires_late(self):
+        plan = ChaosPlan(events=[ChaosEvent("kill", epoch=3, shard=0)])
+        assert plan.take(0, 2) == []  # not due yet
+        assert plan.take(1, 5) == []  # wrong shard
+        fired = plan.take(0, 5)  # first commanded epoch past 3
+        assert [d["kind"] for d in fired] == ["kill"]
+        assert plan.take(0, 6) == []  # consumed
+        assert plan.exhausted
+
+    def test_event_validation(self):
+        with pytest.raises(LaunchError):
+            ChaosEvent("explode", epoch=0, shard=0)
+        with pytest.raises(LaunchError):
+            ChaosEvent("kill", epoch=-1, shard=0)
+        with pytest.raises(LaunchError):
+            ChaosEvent("kill", epoch=0, shard=0, repeat=0)

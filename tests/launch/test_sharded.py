@@ -111,38 +111,116 @@ class TestCollectives:
         assert sharded.ticks_run >= serial.ticks_run
 
 
+def _crashing_app(ctx):
+    """Rank 6 deterministically kills its worker process mid-epoch."""
+
+    def main():
+        yield Compute(2)
+        if ctx.rank == 6:
+            os._exit(42)
+        yield Compute(40)
+
+    return main()
+
+
+def _launch_crashy(**kwargs):
+    step = launch_job(
+        _machines(),
+        SrunOptions(ntasks=8, command="crashy"),
+        _crashing_app,
+        monitor_factory=zerosum_mpi(ZeroSumConfig()),
+        fabric=Fabric(remote_latency=8),
+        workers=2,
+        **kwargs,
+    )
+    assert isinstance(step, ShardedJobStep)
+    return step
+
+
 class TestCrashContainment:
     def test_worker_crash_is_ledgered_not_hung(self):
-        """A dying worker degrades the run instead of wedging it."""
-
-        def crashing_app(ctx):
-            def main():
-                yield Compute(2)
-                if ctx.rank == 6:
-                    os._exit(42)  # the worker process dies mid-epoch
-                yield Compute(40)
-
-            return main()
-
-        step = launch_job(
-            _machines(),
-            SrunOptions(ntasks=8, command="crashy"),
-            crashing_app,
-            monitor_factory=zerosum_mpi(ZeroSumConfig()),
-            fabric=Fabric(remote_latency=8),
-            workers=2,
-        )
-        assert isinstance(step, ShardedJobStep)
+        """With self-healing off, a dying worker degrades the run."""
+        step = _launch_crashy(recovery=None)
         step.run()
         events = step.degradations
         assert len(events) == 1
         assert "shard-1" in events[0].collector
         assert events[0].failure_class == "permanent"
+        assert "crashed" in events[0].reason  # not misfiled as a hang
         # the surviving shard's ranks still report
         step.report(0).render()
         # the lost shard's ranks do not
         with pytest.raises(LaunchError):
             step.report(6)
+
+    def test_deterministic_crash_exhausts_respawn_budget(self):
+        """Self-healing retries an app that re-dies, then degrades.
+
+        The crash is deterministic, so every rebirth-and-replay dies
+        at the same epoch: the ledger must show one transient retry
+        per attempt and a final permanent failure naming the budget.
+        """
+        from repro.launch import RecoveryPolicy
+
+        step = _launch_crashy(
+            recovery=RecoveryPolicy(max_respawns=2, backoff_seconds=0.01)
+        )
+        step.run()
+        events = step.degradations
+        retries = [e for e in events if e.action == "retry"]
+        failures = [e for e in events if e.action == "failure"]
+        assert len(retries) == 2
+        assert all(e.failure_class == "transient" for e in retries)
+        assert len(failures) == 1
+        assert "respawn budget exhausted" in failures[0].reason
+        assert "crashed" in failures[0].reason
+        # no respawn ever succeeded
+        assert not [e for e in events if e.action == "respawned"]
+        step.report(0).render()
+        with pytest.raises(LaunchError):
+            step.report(6)
+
+
+class TestZombieLeak:
+    def test_close_escalates_to_kill_on_wedged_worker(self):
+        """close() must reap a worker that ignores SIGTERM.
+
+        Regression: close() used to terminate + join(5) and give up,
+        leaking the wedged worker past the step's lifetime.  The chaos
+        ``hang`` with ``ignore_term`` models exactly that worker.
+        """
+        import multiprocessing
+
+        from repro.launch import ChaosEvent, ChaosPlan, RecoveryPolicy
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        step = launch_job(
+            _machines(),
+            SrunOptions(ntasks=8, command="pic"),
+            pic_app(PIC),
+            fabric=Fabric(remote_latency=8),
+            workers=2,
+            monitor_factory=zerosum_mpi(ZeroSumConfig()),
+            # max_respawns=0: the hang is detected but never healed, so
+            # the wedged worker is still alive when close() runs
+            recovery=RecoveryPolicy(
+                max_respawns=0,
+                heartbeat_interval=0.05,
+                hang_grace_seconds=0.4,
+            ),
+            chaos=ChaosPlan(
+                events=[ChaosEvent("hang", epoch=1, shard=1, ignore_term=True)]
+            ),
+        )
+        assert isinstance(step, ShardedJobStep)
+        step.run()
+        step.close(join_timeout=0.5)
+        leaked = [
+            p
+            for p in multiprocessing.active_children()
+            if p.pid not in before and p.is_alive()
+        ]
+        assert leaked == []
 
 
 class TestGuards:

@@ -50,6 +50,7 @@ REQUIRED = (
     "BENCH_multirank.json",
     "BENCH_journal.json",
     "BENCH_detect.json",
+    "BENCH_recovery.json",
 )
 
 #: metric name fragments that mean "higher is better"
